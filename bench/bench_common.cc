@@ -1,0 +1,140 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldc {
+namespace bench {
+
+uint64_t ScaledOps(uint64_t base) {
+  const char* scale = std::getenv("LDCKV_BENCH_SCALE");
+  if (scale == nullptr) return base;
+  double factor = std::atof(scale);
+  if (factor <= 0) return base;
+  return static_cast<uint64_t>(base * factor);
+}
+
+BenchParams DefaultBenchParams() {
+  BenchParams params;
+  params.num_ops = ScaledOps(params.num_ops);
+  params.key_space = ScaledOps(params.key_space);
+  return params;
+}
+
+BenchDb::BenchDb(const BenchParams& params)
+    : params_(params),
+      env_(NewMemEnv()),
+      sim_(std::make_unique<SimContext>(params.ssd)),
+      stats_(std::make_unique<Statistics>()),
+      filter_policy_(params.bloom_bits_per_key > 0
+                         ? NewBloomFilterPolicy(params.bloom_bits_per_key)
+                         : nullptr),
+      block_cache_(NewLRUCache(params.block_cache_size)) {
+  Options options;
+  options.block_cache = block_cache_.get();
+  // Scaled runs use small SSTables, so file counts can exceed LevelDB's
+  // default handle budget; keep every table open (the paper's testbed has
+  // 2-MB files and never hits this).
+  options.max_open_files = 50000;
+  options.env = env_.get();
+  options.create_if_missing = true;
+  options.compaction_style = params.style;
+  options.write_buffer_size = params.write_buffer_size;
+  options.max_file_size = params.max_file_size;
+  options.level1_max_bytes = params.level1_max_bytes;
+  options.fan_out = params.fan_out;
+  options.slice_link_threshold = params.slice_link_threshold;
+  options.adaptive_slice_threshold = params.adaptive_slice_threshold;
+  options.frozen_space_limit_ratio = params.frozen_space_limit_ratio;
+  options.filter_policy = filter_policy_.get();
+  options.statistics = stats_.get();
+  options.sim = sim_.get();
+
+  DB* raw = nullptr;
+  Status s = DB::Open(options, "/benchdb", &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: cannot open bench db: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+  db_.reset(raw);
+  driver_ = std::make_unique<WorkloadDriver>(db_.get(), sim_.get(),
+                                             stats_.get());
+}
+
+BenchDb::~BenchDb() = default;
+
+WorkloadResult BenchDb::RunWorkload(WorkloadSpec spec) {
+  Status s = driver_->Preload(spec);
+  if (!s.ok()) {
+    WorkloadResult bad;
+    bad.name = spec.name;
+    bad.status = s;
+    return bad;
+  }
+  // The measured phase starts with clean counters.
+  stats_->Reset();
+  return driver_->Run(spec);
+}
+
+const std::vector<LatencySample>& BenchDb::latency_timeline() const {
+  return driver_->latency_timeline();
+}
+
+uint64_t BenchDb::TotalStoredBytes() {
+  std::string value;
+  if (db_->GetProperty("ldc.total-bytes", &value)) {
+    return strtoull(value.c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+WorkloadSpec MakeSpec(const BenchParams& params, const std::string& name) {
+  WorkloadSpec spec = MakeTableIIIWorkload(name, params.num_ops,
+                                           params.key_space);
+  spec.value_size = params.value_size;
+  spec.zipf_s = params.zipf_s;
+  spec.seed = params.seed;
+  return spec;
+}
+
+void PrintBenchHeader(const std::string& figure, const std::string& title,
+                      const BenchParams& params) {
+  std::printf("================================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("  scaled run: %" PRIu64 " ops, %" PRIu64
+              " keys, %zu-B values, memtable %s, sstable %s, fan-out %d\n",
+              params.num_ops, params.key_space, params.value_size,
+              HumanBytes(params.write_buffer_size).c_str(),
+              HumanBytes(params.max_file_size).c_str(), params.fan_out);
+  std::printf("  (paper scale: 10M+ ops, 1-KB values, 2-MB memtable/SSTable "
+              "on a Memblaze PCIe SSD; set LDCKV_BENCH_SCALE to enlarge)\n");
+  std::printf("================================================================================\n");
+}
+
+void PrintSectionRule() {
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+void PrintPaperNote(const std::string& text) {
+  std::printf("  paper: %s\n", text.c_str());
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ldc

@@ -1,0 +1,79 @@
+// Reproduces Fig. 1 of the paper: the per-second average request latency of
+// a mixed read/write workload on the UDC (stock LevelDB) baseline fluctuates
+// drastically — the paper measures a 49.13x span between the quietest and
+// the worst second, caused by batched compaction work blocking user writes.
+// The same timeline under LDC is printed for contrast.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+namespace {
+
+void RunTimeline(CompactionStyle style, const char* label) {
+  BenchParams params = DefaultBenchParams();
+  params.style = style;
+  // Latency figures use a finer-grained tree (more flushes and compactions
+  // per second) so the scaled run produces enough stall events to resolve
+  // the P99.9 tail; throughput figures use the coarser default.
+  params.write_buffer_size = 32 * 1024;
+  params.max_file_size = 32 * 1024;
+  params.level1_max_bytes = 128 * 1024;
+  BenchDb bench(params);
+  WorkloadSpec spec = MakeSpec(params, "RWB");
+  spec.latency_sample_interval_us = 2000;  // ~stall-length buckets (scaled run)
+  WorkloadResult result = bench.RunWorkload(spec);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
+    std::exit(1);
+  }
+
+  const std::vector<LatencySample>& timeline = bench.latency_timeline();
+  std::printf("\n%s: per-2ms-bucket average latency (us)\n", label);
+  std::printf("%8s %14s %14s\n", "bucket", "write avg", "read avg");
+  PrintSectionRule();
+
+  // The scaled run lasts a fraction of a second of virtual time, so the
+  // driver's per-second timeline would be one bucket; re-bucket by run
+  // percentile instead (20 buckets over the run).
+  double min_write = 1e30, max_write = 0;
+  size_t shown = 0;
+  for (const LatencySample& s : timeline) {
+    if (s.write_ops > 0) {
+      min_write = std::min(min_write, s.avg_write_us);
+      max_write = std::max(max_write, s.avg_write_us);
+    }
+    if (shown < 40) {
+      std::printf("%8llu %14.2f %14.2f\n",
+                  static_cast<unsigned long long>(s.second), s.avg_write_us,
+                  s.avg_read_us);
+      shown++;
+    }
+  }
+  if (timeline.size() > shown) {
+    std::printf("   ... (%zu more buckets)\n", timeline.size() - shown);
+  }
+  if (min_write < max_write && min_write > 0) {
+    std::printf("  write-latency fluctuation: min %.2f us, max %.2f us "
+                "=> %.2fx span\n",
+                min_write, max_write, max_write / min_write);
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchParams params = DefaultBenchParams();
+  PrintBenchHeader("Fig. 1", "latency fluctuation caused by batched writing",
+                   params);
+  PrintPaperNote(
+      "paper observes up to 49.13x fluctuation of per-second write latency "
+      "on stock LevelDB (UDC); LDC's smaller compactions flatten the curve.");
+  RunTimeline(CompactionStyle::kUdc, "UDC (LevelDB baseline)");
+  RunTimeline(CompactionStyle::kLdc, "LDC");
+  return 0;
+}

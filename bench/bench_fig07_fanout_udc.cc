@@ -1,0 +1,65 @@
+// Reproduces Fig. 7 of the paper: simply tuning the fan-out of an LSM-tree
+// under traditional upper-level driven compaction cannot reduce I/O
+// amplification and raise throughput at the same time. Sweeping fan-out
+// from 3 to 100, small fan-outs cut per-compaction amplification but deepen
+// the tree (more rounds), and large fan-outs flatten the tree but make each
+// compaction huge.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+int main() {
+  BenchParams base = DefaultBenchParams();
+  PrintBenchHeader("Fig. 7", "tuning UDC fan-out cannot fix amplification",
+                   base);
+
+  std::printf("\n%-8s %14s %16s %16s %14s\n", "fan-out", "thpt (ops/s)",
+              "compaction R+W", "write amp", "tree depth*");
+  PrintSectionRule();
+
+  const std::vector<int> fanouts = {3, 5, 10, 25, 50, 100};
+  for (int fanout : fanouts) {
+    BenchParams params = base;
+    params.style = CompactionStyle::kUdc;
+    params.fan_out = fanout;
+    BenchDb bench(params);
+    WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    const uint64_t compaction_io = bench.stats()->Get(kCompactionReadBytes) +
+                                   bench.stats()->Get(kCompactionWriteBytes);
+    const uint64_t user_bytes = bench.stats()->Get(kWalWriteBytes);
+    const double write_amp =
+        user_bytes > 0
+            ? static_cast<double>(bench.stats()->Get(kCompactionWriteBytes) +
+                                  bench.stats()->Get(kFlushWriteBytes)) /
+                  user_bytes
+            : 0;
+    // Count populated levels as an approximation of the tree depth.
+    int depth = 0;
+    std::string value;
+    for (int level = 0; level < 12; level++) {
+      char prop[64];
+      snprintf(prop, sizeof(prop), "ldc.num-files-at-level%d", level);
+      if (bench.db()->GetProperty(prop, &value) && value != "0") {
+        depth = level + 1;
+      }
+    }
+    std::printf("%-8d %14.0f %16s %15.2fx %14d\n", fanout,
+                result.throughput_ops_per_sec,
+                HumanBytes(compaction_io).c_str(), write_amp, depth);
+  }
+  PrintPaperNote(
+      "no fan-out setting achieves both low amplification and high "
+      "throughput under UDC (Fig. 7) — the fix must change the compaction "
+      "mechanism itself.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 8 of the paper: P90 ~ P99.99 request-latency percentiles
+// of UDC vs LDC under a half-write half-read workload. The paper reports
+// P99.9 dropping from 469.66 us (UDC) to 179.53 us (LDC) — 2.62x — and
+// P99.99 from 2688.23 us to 1305.96 us.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/histogram.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+namespace {
+
+Histogram RunAndCollect(CompactionStyle style) {
+  BenchParams params = DefaultBenchParams();
+  params.style = style;
+  // Latency figures use a finer-grained tree (more flushes and compactions
+  // per second) so the scaled run produces enough stall events to resolve
+  // the P99.9 tail; throughput figures use the coarser default.
+  params.write_buffer_size = 32 * 1024;
+  params.max_file_size = 32 * 1024;
+  params.level1_max_bytes = 128 * 1024;
+  BenchDb bench(params);
+  WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
+    std::exit(1);
+  }
+  Histogram all;
+  all.Merge(bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs));
+  all.Merge(bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs));
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  BenchParams params = DefaultBenchParams();
+  PrintBenchHeader("Fig. 8", "P90 ~ P99.99 tail latency, UDC vs LDC", params);
+
+  Histogram udc = RunAndCollect(CompactionStyle::kUdc);
+  Histogram ldc = RunAndCollect(CompactionStyle::kLdc);
+
+  const double percentiles[] = {90, 95, 99, 99.9, 99.99};
+  std::printf("\n%-10s %14s %14s %12s\n", "percentile", "UDC (us)",
+              "LDC (us)", "UDC/LDC");
+  PrintSectionRule();
+  for (double p : percentiles) {
+    const double u = udc.Percentile(p);
+    const double l = ldc.Percentile(p);
+    std::printf("P%-9g %14.2f %14.2f %11.2fx\n", p, u, l,
+                l > 0 ? u / l : 0.0);
+  }
+  std::printf("%-10s %14.2f %14.2f\n", "avg", udc.Average(), ldc.Average());
+  std::printf("%-10s %14.2f %14.2f\n", "max", udc.Max(), ldc.Max());
+  PrintPaperNote(
+      "P99.9: 469.66 us (UDC) -> 179.53 us (LDC), a 2.62x reduction; "
+      "P99.99: 2688.23 -> 1305.96 us. LDC shrinks each compaction to "
+      "O(1) files, so writes block for far shorter periods.");
+  return 0;
+}

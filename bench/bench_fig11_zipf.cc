@@ -1,0 +1,58 @@
+// Reproduces Fig. 11 of the paper: throughput of UDC vs LDC under the
+// uniform distribution and Zipf distributions with constant 1, 2 and 5.
+// The paper reports both engines speeding up as the Zipf constant grows
+// (more cache hits, more concentrated compaction) and LDC's advantage
+// widening from +38.7% (uniform) to +67.3% (Zipf5), because concentrated
+// writes reach the SliceLink threshold faster.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+int main() {
+  BenchParams base = DefaultBenchParams();
+  PrintBenchHeader("Fig. 11", "uniform vs Zipf distributions (RWB)", base);
+
+  std::printf("\n%-10s %14s %14s %12s %14s\n", "dist", "UDC", "LDC",
+              "LDC/UDC", "paper delta");
+  PrintSectionRule();
+  struct Case {
+    const char* label;
+    double s;
+    const char* paper;
+  };
+  // The paper's Zipf constants 1..5 act on a 10M-key space; on the scaled
+  // key space the same exponents degenerate into single-key traffic, so we
+  // use skews that produce a comparable hot-set concentration.
+  const std::vector<Case> cases = {{"uniform", 0.0, "+38.7%"},
+                                   {"Zipf1", 0.6, ""},
+                                   {"Zipf2", 0.99, ""},
+                                   {"Zipf5", 1.2, "+67.3%"}};
+  for (const Case& c : cases) {
+    double thpt[2] = {0, 0};
+    for (int pass = 0; pass < 2; pass++) {
+      BenchParams params = base;
+      params.style =
+          pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+      params.zipf_s = c.s;
+      BenchDb bench(params);
+      WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      thpt[pass] = result.throughput_ops_per_sec;
+    }
+    std::printf("%-10s %14.0f %14.0f %+11.1f%% %14s\n", c.label, thpt[0],
+                thpt[1], 100.0 * (thpt[1] - thpt[0]) / thpt[0], c.paper);
+  }
+  PrintPaperNote(
+      "both engines get faster under more skew; LDC's edge grows with the "
+      "Zipf constant because hot ranges hit T_s sooner (Fig. 11).");
+  return 0;
+}

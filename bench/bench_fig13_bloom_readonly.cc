@@ -1,0 +1,92 @@
+// Reproduces Fig. 13 of the paper: under a read-only workload, the number
+// of data-block reads from the device falls as bloom filters grow, with
+// diminishing returns past ~16 bits/key; and the per-SSTable filter size
+// grows linearly (the paper measures 11.3 KB at 8 bits/key up to 67.3 KB at
+// 128 bits/key for a 2-MB SSTable), so 8~16 bits/key is the sweet spot.
+//
+// This bench deliberately uses a small block cache so reads actually reach
+// the simulated device (the effect bloom filters exist to avoid).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "table/table_builder.h"
+#include "util/random.h"
+#include "workload/key_generator.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+namespace {
+
+// Builds one SSTable of `num_keys` 1-KB values with the given filter and
+// returns (total size, size without filter) to derive the filter footprint.
+uint64_t MeasureFilterBytes(int bits_per_key, int num_keys) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  uint64_t sizes[2] = {0, 0};
+  for (int pass = 0; pass < 2; pass++) {
+    std::unique_ptr<const FilterPolicy> policy(
+        pass == 0 ? nullptr : NewBloomFilterPolicy(bits_per_key));
+    Options options;
+    options.env = env.get();
+    options.filter_policy = policy.get();
+    WritableFile* file = nullptr;
+    env->NewWritableFile("/table", &file);
+    TableBuilder builder(options, file);
+    std::string value;
+    for (int i = 0; i < num_keys; i++) {
+      MakeValue(i, 0, 1024, &value);
+      builder.Add(MakeKey(i), value);
+    }
+    builder.Finish();
+    sizes[pass] = builder.FileSize();
+    file->Close();
+    delete file;
+  }
+  return sizes[1] - sizes[0];
+}
+
+}  // namespace
+
+int main() {
+  BenchParams base = DefaultBenchParams();
+  base.block_cache_size = 2 * 1024 * 1024;  // force reads to the device
+  PrintBenchHeader("Fig. 13", "bloom size vs block reads (read-only)", base);
+
+  std::printf("\n%-8s %16s %16s %16s %18s\n", "bits", "block reads (UDC)",
+              "block reads (LDC)", "bloom useful", "filter / 2MB-SST");
+  PrintSectionRule();
+  for (int bits : {2, 4, 8, 16, 32, 64, 128}) {
+    uint64_t reads[2] = {0, 0};
+    uint64_t useful = 0;
+    for (int pass = 0; pass < 2; pass++) {
+      BenchParams params = base;
+      params.style =
+          pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+      params.bloom_bits_per_key = bits;
+      BenchDb bench(params);
+      WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RO"));
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      reads[pass] = bench.stats()->Get(kBlockReads);
+      if (pass == 1) useful = bench.stats()->Get(kBloomUseful);
+    }
+    // Paper geometry: a 2-MB SSTable of 1-KB values holds ~2048 keys.
+    const uint64_t filter_bytes = MeasureFilterBytes(bits, 2048);
+    std::printf("%-8d %16llu %16llu %16llu %15.1f KB\n", bits,
+                static_cast<unsigned long long>(reads[0]),
+                static_cast<unsigned long long>(reads[1]),
+                static_cast<unsigned long long>(useful),
+                filter_bytes / 1024.0);
+  }
+  PrintPaperNote(
+      "block reads stop improving beyond ~16 bits/key while the filter "
+      "keeps growing linearly (paper: 11.3 KB at 8 b/k to 67.3 KB at 128 "
+      "b/k per 2-MB SSTable) — 8~16 bits/key is enough (Fig. 13).");
+  return 0;
+}

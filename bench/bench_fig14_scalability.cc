@@ -1,0 +1,55 @@
+// Reproduces Fig. 14 of the paper: scalability of LDC's advantage as the
+// request count grows (the paper sweeps 5M..30M requests under uniform RWB
+// and finds LDC sustaining a 39%~65% throughput edge while saving
+// 43.3%~46.7% of compaction I/O at every size).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+int main() {
+  BenchParams base = DefaultBenchParams();
+  PrintBenchHeader("Fig. 14", "scalability with request count (RWB)", base);
+
+  std::printf("\n%-12s %13s %13s %9s %13s %13s %9s\n", "requests", "UDC thpt",
+              "LDC thpt", "delta", "UDC IO", "LDC IO", "saved");
+  PrintSectionRule();
+  // The paper's 5M..30M requests scale to 0.5x..3x of the bench default.
+  const std::vector<double> multipliers = {0.5, 1.0, 2.0, 3.0};
+  for (double mult : multipliers) {
+    double thpt[2] = {0, 0};
+    uint64_t io[2] = {0, 0};
+    for (int pass = 0; pass < 2; pass++) {
+      BenchParams params = base;
+      params.style =
+          pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+      params.num_ops = static_cast<uint64_t>(base.num_ops * mult);
+      params.key_space = static_cast<uint64_t>(base.key_space * mult);
+      BenchDb bench(params);
+      WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      thpt[pass] = result.throughput_ops_per_sec;
+      io[pass] = bench.stats()->Get(kCompactionReadBytes) +
+                 bench.stats()->Get(kCompactionWriteBytes);
+    }
+    std::printf("%-12llu %13.0f %13.0f %+8.1f%% %13s %13s %8.1f%%\n",
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(base.num_ops * mult)),
+                thpt[0], thpt[1], 100.0 * (thpt[1] - thpt[0]) / thpt[0],
+                HumanBytes(io[0]).c_str(), HumanBytes(io[1]).c_str(),
+                io[0] > 0 ? 100.0 * (io[0] - io[1]) / io[0] : 0.0);
+  }
+  PrintPaperNote(
+      "LDC keeps a 39%~65% throughput edge and saves 43.3%~46.7% of "
+      "compaction I/O across request counts (Fig. 14) — the benefit is not "
+      "a small-dataset artifact.");
+  return 0;
+}

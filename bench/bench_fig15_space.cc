@@ -1,0 +1,103 @@
+// Reproduces Fig. 15 of the paper: LDC's delayed garbage collection keeps
+// useless slices inside frozen SSTables for a while, so it consumes some
+// extra space — the paper measures only 3.37%~10.0% more than UDC
+// (6.78% on average) across request counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+int main() {
+  BenchParams base = DefaultBenchParams();
+  PrintBenchHeader("Fig. 15", "space consumption, UDC vs LDC (RWB)", base);
+
+  std::printf("\n%-12s %14s %14s %14s %12s\n", "requests", "UDC space",
+              "LDC space", "LDC frozen", "overhead");
+  PrintSectionRule();
+  const std::vector<double> multipliers = {0.5, 1.0, 2.0, 3.0};
+  double worst = 0, sum = 0;
+  for (double mult : multipliers) {
+    uint64_t space[2] = {0, 0};
+    uint64_t frozen = 0;
+    for (int pass = 0; pass < 2; pass++) {
+      BenchParams params = base;
+      params.style =
+          pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+      params.num_ops = static_cast<uint64_t>(base.num_ops * mult);
+      params.key_space = static_cast<uint64_t>(base.key_space * mult);
+      BenchDb bench(params);
+      WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      // Space is measured while the tree still carries its link state:
+      // WaitForIdle has settled compaction, so what remains is the steady
+      // frozen-region overhead.
+      space[pass] = bench.TotalStoredBytes();
+      if (pass == 1) {
+        std::string v;
+        bench.db()->GetProperty("ldc.frozen-bytes", &v);
+        frozen = strtoull(v.c_str(), nullptr, 10);
+      }
+    }
+    const double overhead =
+        space[0] > 0
+            ? 100.0 * (static_cast<double>(space[1]) - space[0]) / space[0]
+            : 0;
+    worst = overhead > worst ? overhead : worst;
+    sum += overhead;
+    std::printf("%-12llu %14s %14s %14s %+11.2f%%\n",
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(base.num_ops * mult)),
+                HumanBytes(space[0]).c_str(), HumanBytes(space[1]).c_str(),
+                HumanBytes(frozen).c_str(), overhead);
+  }
+  std::printf("  average overhead: %+.2f%%, worst: %+.2f%%\n",
+              sum / multipliers.size(), worst);
+
+  // Space-tuned LDC: a tighter frozen-region valve trades a little extra
+  // merge I/O for earlier slice reclamation (the "smaller SliceLink
+  // threshold" knob of §III-D).
+  std::printf("\nspace-tuned LDC (frozen valve at 10%% of live data)\n");
+  std::printf("%-12s %14s %14s %12s\n", "requests", "UDC space", "LDC space",
+              "overhead");
+  PrintSectionRule();
+  for (double mult : multipliers) {
+    uint64_t space[2] = {0, 0};
+    for (int pass = 0; pass < 2; pass++) {
+      BenchParams params = base;
+      params.style =
+          pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+      params.frozen_space_limit_ratio = 0.10;
+      params.num_ops = static_cast<uint64_t>(base.num_ops * mult);
+      params.key_space = static_cast<uint64_t>(base.key_space * mult);
+      BenchDb bench(params);
+      WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      space[pass] = bench.TotalStoredBytes();
+    }
+    std::printf("%-12llu %14s %14s %+11.2f%%\n",
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(base.num_ops * mult)),
+                HumanBytes(space[0]).c_str(), HumanBytes(space[1]).c_str(),
+                100.0 * (static_cast<double>(space[1]) - space[0]) /
+                    space[0]);
+  }
+  PrintPaperNote(
+      "LDC consumes only 3.37%~10.0% more space (6.78% average) — far less "
+      "than the 25% worst-case bound of SS III-D (Fig. 15). The scaled tree "
+      "here is much shallower (3-4 levels vs their 5+), so the frozen "
+      "region — roughly one level's worth of slices — is a larger fraction "
+      "of the total; the valve recovers the paper's regime.");
+  return 0;
+}

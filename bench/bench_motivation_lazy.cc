@@ -1,0 +1,91 @@
+// Reproduces the paper's *motivation* (§I, §II-C, §V): lazy compaction
+// schemes (RocksDB universal / Cassandra size-tiered / dCompaction) cut
+// write amplification by enlarging compaction batches, but the enlarged
+// batches block writers for longer — they trade tail latency away. LDC is
+// the only scheme here that improves both axes at once.
+//
+// Three engines on the same RWB workload:
+//   UDC    — classic leveled compaction (LevelDB),
+//   Tiered — the lazy baseline (size-tiered, all files in level 0),
+//   LDC    — the paper's method.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/histogram.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+namespace {
+
+struct EngineResult {
+  const char* label;
+  double throughput = 0;
+  double p999 = 0, p9999 = 0, max = 0;
+  uint64_t compaction_io = 0;
+  uint64_t stall_us = 0;
+};
+
+EngineResult RunEngine(const char* label, CompactionStyle style) {
+  BenchParams params = DefaultBenchParams();
+  params.style = style;
+  // The latency-bench tree (more flush/compaction events per run).
+  params.write_buffer_size = 32 * 1024;
+  params.max_file_size = 32 * 1024;
+  params.level1_max_bytes = 128 * 1024;
+  BenchDb bench(params);
+  WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 result.status.ToString().c_str());
+    std::exit(1);
+  }
+  Histogram all;
+  all.Merge(bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs));
+  all.Merge(bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs));
+
+  EngineResult out;
+  out.label = label;
+  out.throughput = result.throughput_ops_per_sec;
+  out.p999 = all.Percentile(99.9);
+  out.p9999 = all.Percentile(99.99);
+  out.max = all.Max();
+  out.compaction_io = bench.stats()->Get(kCompactionReadBytes) +
+                      bench.stats()->Get(kCompactionWriteBytes);
+  out.stall_us = bench.stats()->Get(kStallMicros) +
+                 bench.stats()->Get(kSlowdownMicros);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  BenchParams params = DefaultBenchParams();
+  PrintBenchHeader("Motivation (SS I/V)",
+                   "lazy compaction trades tail latency for throughput; "
+                   "LDC improves both",
+                   params);
+
+  EngineResult rows[3] = {RunEngine("UDC (leveled)", CompactionStyle::kUdc),
+                          RunEngine("Tiered (lazy)", CompactionStyle::kTiered),
+                          RunEngine("LDC (paper)", CompactionStyle::kLdc)};
+
+  std::printf("\n%-16s %12s %12s %12s %12s %12s %10s\n", "engine",
+              "thpt (ops/s)", "P99.9 (us)", "P99.99 (us)", "max (us)",
+              "compact IO", "stalls");
+  PrintSectionRule();
+  for (const EngineResult& r : rows) {
+    std::printf("%-16s %12.0f %12.2f %12.2f %12.0f %12s %8.1fms\n", r.label,
+                r.throughput, r.p999, r.p9999, r.max,
+                HumanBytes(r.compaction_io).c_str(), r.stall_us / 1000.0);
+  }
+  PrintPaperNote(
+      "the lazy scheme moves the least data but its giant merge batches "
+      "produce the worst *worst-case* stall (see the max column — the "
+      "paper's 'all the stored data in one round of compaction' scenario); "
+      "at laptop scale those events are too rare to move P99.9, which is "
+      "exactly the deceptive smoothness that breaks online SLOs. LDC "
+      "matches the lazy scheme's throughput with a bounded worst case.");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks for the data-structure layer: varint
+// coding, CRC32C, bloom filters, skiplist/memtable, and SSTable block
+// build/seek. These are sanity checks that the substrate is not the
+// bottleneck in the figure harnesses.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "db/dbformat.h"
+#include "ldc/env.h"
+#include "ldc/comparator.h"
+#include "ldc/filter_policy.h"
+#include "ldc/options.h"
+#include "memtbl/memtable.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/table_builder.h"
+#include "table/format.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "wal/log_writer.h"
+#include "workload/key_generator.h"
+
+namespace ldc {
+namespace {
+
+void BM_EncodeVarint64(benchmark::State& state) {
+  Random rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1024; i++) values.push_back(rng.Skewed(60));
+  char buf[10];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeVarint64(buf, values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_EncodeVarint64);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void BM_BloomCreateAndQuery(benchmark::State& state) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 2048; i++) {
+    key_storage.push_back(MakeKey(i));
+  }
+  for (const std::string& k : key_storage) keys.push_back(Slice(k));
+  std::string filter;
+  policy->CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy->KeyMayMatch(keys[i++ & 2047], Slice(filter)));
+  }
+}
+BENCHMARK(BM_BloomCreateAndQuery);
+
+void BM_MemTableInsert(benchmark::State& state) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  Random rng(42);
+  std::string value(128, 'v');
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    mem->Add(seq++, kTypeValue, MakeKey(rng.Next()), value);
+    if (mem->ApproximateMemoryUsage() > 64 << 20) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(cmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableInsert);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  std::string value(128, 'v');
+  for (uint64_t i = 0; i < 100000; i++) {
+    mem->Add(i + 1, kTypeValue, MakeKey(i), value);
+  }
+  Random rng(42);
+  std::string result;
+  for (auto _ : state) {
+    LookupKey key(MakeKey(rng.Uniform(100000)), 1 << 30);
+    Status s;
+    benchmark::DoNotOptimize(mem->Get(key, &result, &s));
+  }
+  mem->Unref();
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BlockSeek(benchmark::State& state) {
+  Options options;
+  BlockBuilder builder(&options);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 256; i++) keys.push_back(MakeKey(i));
+  std::string value(64, 'v');
+  for (const std::string& k : keys) builder.Add(k, value);
+  Slice raw = builder.Finish();
+  BlockContents contents;
+  contents.data = raw;
+  contents.cachable = false;
+  contents.heap_allocated = false;
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+  Random rng(42);
+  for (auto _ : state) {
+    iter->Seek(keys[rng.Uniform(256)]);
+    benchmark::DoNotOptimize(iter->Valid());
+  }
+}
+BENCHMARK(BM_BlockSeek);
+
+void BM_WalAppend(benchmark::State& state) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  WritableFile* file = nullptr;
+  env->NewWritableFile("/wal", &file);
+  log::Writer writer(file);
+  std::string record(state.range(0), 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.AddRecord(record).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  file->Close();
+  delete file;
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(4096);
+
+void BM_TableBuild(benchmark::State& state) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  Options options;
+  options.env = env.get();
+  options.filter_policy = policy.get();
+  std::vector<std::string> keys;
+  const int kEntries = 2000;
+  for (int i = 0; i < kEntries; i++) keys.push_back(MakeKey(i));
+  std::string value(256, 'v');
+  for (auto _ : state) {
+    WritableFile* file = nullptr;
+    env->NewWritableFile("/table", &file);
+    TableBuilder builder(options, file);
+    for (const std::string& k : keys) builder.Add(k, value);
+    benchmark::DoNotOptimize(builder.Finish().ok());
+    file->Close();
+    delete file;
+  }
+  state.SetBytesProcessed(state.iterations() * kEntries *
+                          (16 + value.size()));
+}
+BENCHMARK(BM_TableBuild);
+
+}  // namespace
+}  // namespace ldc

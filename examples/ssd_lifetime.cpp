@@ -1,0 +1,104 @@
+// SSD lifetime estimator (paper §IV-D): flash cells endure a limited number
+// of program/erase cycles (5,000~10,000 per the paper), and compaction's
+// write amplification is what burns them. This example runs the same insert
+// workload through UDC and LDC on the simulated device and converts the
+// physical write volume into an estimated drive lifetime.
+//
+//   ./ssd_lifetime [ops]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "ldc/cache.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/filter_policy.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "util/random.h"
+#include "workload/key_generator.h"
+
+using namespace ldc;
+
+namespace {
+
+struct WearResult {
+  uint64_t user_bytes = 0;
+  uint64_t physical_bytes = 0;
+  double pe_cycles = 0;
+};
+
+WearResult RunEngine(CompactionStyle style, uint64_t ops) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  SsdModel model;
+  // A small "device" so the wear numbers are visible at example scale.
+  model.capacity_bytes = 64ull << 20;
+  model.pe_cycle_limit = 5000;
+  SimContext sim(model);
+  Statistics stats;
+  std::unique_ptr<const FilterPolicy> filter(NewBloomFilterPolicy(10));
+  std::unique_ptr<Cache> cache(NewLRUCache(256 << 20));
+
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  options.compaction_style = style;
+  options.write_buffer_size = 64 * 1024;
+  options.max_file_size = 64 * 1024;
+  options.level1_max_bytes = 256 * 1024;
+  options.filter_policy = filter.get();
+  options.block_cache = cache.get();
+  options.statistics = &stats;
+  options.sim = &sim;
+
+  DB* raw = nullptr;
+  if (!DB::Open(options, "/wear", &raw).ok()) std::exit(1);
+  std::unique_ptr<DB> db(raw);
+
+  Random rng(42);
+  std::string value;
+  uint64_t user_bytes = 0;
+  for (uint64_t i = 0; i < ops; i++) {
+    const uint64_t id = rng.Uniform(ops);
+    MakeValue(id, i, 256, &value);
+    db->Put(WriteOptions(), MakeKey(id), value);
+    user_bytes += 16 + value.size();
+  }
+  db->WaitForIdle();
+
+  WearResult result;
+  result.user_bytes = user_bytes;
+  result.physical_bytes = sim.TotalBytesWritten();
+  result.pe_cycles = sim.EstimatedPeCyclesConsumed();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops = argc > 1 ? strtoull(argv[1], nullptr, 10) : 40000;
+  std::printf("Estimating flash wear for %llu random inserts...\n\n",
+              static_cast<unsigned long long>(ops));
+
+  WearResult udc = RunEngine(CompactionStyle::kUdc, ops);
+  WearResult ldc_run = RunEngine(CompactionStyle::kLdc, ops);
+
+  auto report = [](const char* label, const WearResult& r) {
+    std::printf("%-4s user data %.2f MB -> physical writes %.2f MB "
+                "(write amp %.2fx), %.4f avg P/E cycles consumed\n",
+                label, r.user_bytes / 1048576.0, r.physical_bytes / 1048576.0,
+                static_cast<double>(r.physical_bytes) / r.user_bytes,
+                r.pe_cycles);
+  };
+  report("UDC", udc);
+  report("LDC", ldc_run);
+
+  const double wear_ratio = udc.pe_cycles / ldc_run.pe_cycles;
+  std::printf("\nAt this workload, LDC wears the flash %.2fx slower than "
+              "UDC: a drive rated for 5,000 P/E cycles lasts %.2fx longer "
+              "(paper SS IV-D: LDC extends SSD lifetimes by cutting "
+              "compaction I/O roughly in half).\n",
+              wear_ratio, wear_ratio);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// YCSB-style workload runner against the simulated SSD — the tool behind
+// the paper-reproduction benches, exposed as a CLI.
+//
+//   ./ycsb_cli [--style=udc|ldc] [--workload=WO|WH|RWB|RH|RO|SCN-*]
+//              [--ops=N] [--keys=N] [--value=BYTES] [--zipf=S]
+//              [--fanout=K] [--threshold=T] [--adaptive]
+//
+// Prints throughput, latency percentiles, compaction I/O, and the busy-time
+// breakdown of the run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "ldc/cache.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/filter_policy.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "util/histogram.h"
+#include "workload/workload.h"
+
+using namespace ldc;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t len = strlen(name);
+  if (strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string style = "ldc";
+  std::string workload = "RWB";
+  uint64_t ops = 60000;
+  uint64_t keys = 60000;
+  size_t value_size = 256;
+  double zipf = 0.0;
+  int fanout = 10;
+  int threshold = 0;
+  bool adaptive = false;
+
+  for (int i = 1; i < argc; i++) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--style", &v)) {
+      style = v;
+    } else if (FlagValue(argv[i], "--workload", &v)) {
+      workload = v;
+    } else if (FlagValue(argv[i], "--ops", &v)) {
+      ops = strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--keys", &v)) {
+      keys = strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--value", &v)) {
+      value_size = strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--zipf", &v)) {
+      zipf = atof(v);
+    } else if (FlagValue(argv[i], "--fanout", &v)) {
+      fanout = atoi(v);
+    } else if (FlagValue(argv[i], "--threshold", &v)) {
+      threshold = atoi(v);
+    } else if (strcmp(argv[i], "--adaptive") == 0) {
+      adaptive = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Env> env(NewMemEnv());
+  SsdModel model;
+  SimContext sim(model);
+  Statistics stats;
+  std::unique_ptr<const FilterPolicy> filter(NewBloomFilterPolicy(10));
+  std::unique_ptr<Cache> cache(NewLRUCache(256 << 20));
+
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  options.compaction_style =
+      style == "udc" ? CompactionStyle::kUdc : CompactionStyle::kLdc;
+  options.write_buffer_size = 128 * 1024;
+  options.max_file_size = 128 * 1024;
+  options.level1_max_bytes = 512 * 1024;
+  options.fan_out = fanout;
+  options.slice_link_threshold = threshold;
+  options.adaptive_slice_threshold = adaptive;
+  options.filter_policy = filter.get();
+  options.block_cache = cache.get();
+  options.statistics = &stats;
+  options.sim = &sim;
+
+  DB* raw = nullptr;
+  Status status = DB::Open(options, "/ycsb", &raw);
+  if (!status.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DB> db(raw);
+
+  WorkloadSpec spec = MakeTableIIIWorkload(workload, ops, keys);
+  spec.value_size = value_size;
+  spec.zipf_s = zipf;
+
+  WorkloadDriver driver(db.get(), &sim, &stats);
+  status = driver.Preload(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "preload failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  stats.Reset();
+  WorkloadResult result = driver.Run(spec);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("workload %s, style %s: %llu ops in %.3f virtual seconds "
+              "=> %.0f ops/s\n",
+              workload.c_str(), style.c_str(),
+              static_cast<unsigned long long>(result.ops),
+              result.elapsed_micros / 1e6, result.throughput_ops_per_sec);
+
+  Histogram all;
+  all.Merge(stats.GetHistogram(OpHistogram::kWriteLatencyUs));
+  all.Merge(stats.GetHistogram(OpHistogram::kReadLatencyUs));
+  all.Merge(stats.GetHistogram(OpHistogram::kScanLatencyUs));
+  std::printf("latency (us): avg %.2f  P90 %.2f  P99 %.2f  P99.9 %.2f  "
+              "P99.99 %.2f\n",
+              all.Average(), all.Percentile(90), all.Percentile(99),
+              all.Percentile(99.9), all.Percentile(99.99));
+  std::printf("compaction I/O: read %.2f MB, write %.2f MB; "
+              "stalls %.1f ms, slowdowns %.1f ms\n",
+              stats.Get(kCompactionReadBytes) / 1048576.0,
+              stats.Get(kCompactionWriteBytes) / 1048576.0,
+              stats.Get(kStallMicros) / 1000.0,
+              stats.Get(kSlowdownMicros) / 1000.0);
+  std::printf("\nbusy-time breakdown:\n%s", sim.ReportBreakdown().c_str());
+  std::printf("\ncounters:\n%s", stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,200 @@
+// An Env is an interface used by the ldc implementation to access
+// operating system functionality like the filesystem. Callers may wish to
+// provide a custom Env object when opening a database to get fine gain
+// control; e.g., the deterministic in-memory Env used by the simulator.
+//
+// All Env implementations are safe for concurrent access from
+// multiple threads without any external synchronization.
+
+#ifndef LDC_INCLUDE_ENV_H_
+#define LDC_INCLUDE_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldc/status.h"
+
+namespace ldc {
+
+class FileLock;
+class RandomAccessFile;
+class SequentialFile;
+class WritableFile;
+
+class Env {
+ public:
+  Env() = default;
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  virtual ~Env();
+
+  // Return a default environment suitable for the current operating
+  // system. Sophisticated users may wish to provide their own Env
+  // implementation instead of relying on this default environment.
+  //
+  // The result of Default() belongs to ldc and must never be deleted.
+  static Env* Default();
+
+  // Create an object that sequentially reads the file with the specified
+  // name. On success, stores a pointer to the new file in *result and
+  // returns OK. On failure stores nullptr in *result and returns non-OK.
+  // If the file does not exist, returns a non-OK status. Implementations
+  // should return a NotFound status when the file does not exist.
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   SequentialFile** result) = 0;
+
+  // Create an object supporting random-access reads from the file with the
+  // specified name. On success, stores a pointer to the new file in
+  // *result and returns OK. On failure stores nullptr in *result and
+  // returns non-OK. If the file does not exist, returns a non-OK status.
+  // Implementations should return a NotFound status when the file does
+  // not exist.
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     RandomAccessFile** result) = 0;
+
+  // Create an object that writes to a new file with the specified
+  // name. Deletes any existing file with the same name and creates a
+  // new file. On success, stores a pointer to the new file in
+  // *result and returns OK. On failure stores nullptr in *result and
+  // returns non-OK.
+  virtual Status NewWritableFile(const std::string& fname,
+                                 WritableFile** result) = 0;
+
+  // Create an object that either appends to an existing file, or
+  // writes to a new file (if the file does not exist to begin with).
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   WritableFile** result);
+
+  // Returns true iff the named file exists.
+  virtual bool FileExists(const std::string& fname) = 0;
+
+  // Store in *result the names of the children of the specified directory.
+  // The names are relative to "dir".
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+
+  // Delete the named file.
+  virtual Status RemoveFile(const std::string& fname) = 0;
+
+  // Create the specified directory.
+  virtual Status CreateDir(const std::string& dirname) = 0;
+
+  // Delete the specified directory.
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+
+  // Store the size of fname in *file_size.
+  virtual Status GetFileSize(const std::string& fname, uint64_t* file_size) = 0;
+
+  // Rename file src to target.
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  // Lock the specified file. Used to prevent concurrent access to
+  // the same db by multiple processes. On failure, stores nullptr in
+  // *lock and returns non-OK.
+  virtual Status LockFile(const std::string& fname, FileLock** lock) = 0;
+
+  // Release the lock acquired by a previous successful call to LockFile.
+  virtual Status UnlockFile(FileLock* lock) = 0;
+
+  // Returns the number of micro-seconds since some fixed point in time.
+  // Only useful for computing deltas of time.
+  virtual uint64_t NowMicros() = 0;
+};
+
+// A file abstraction for reading sequentially through a file.
+class SequentialFile {
+ public:
+  SequentialFile() = default;
+
+  SequentialFile(const SequentialFile&) = delete;
+  SequentialFile& operator=(const SequentialFile&) = delete;
+
+  virtual ~SequentialFile();
+
+  // Read up to "n" bytes from the file. "scratch[0..n-1]" may be
+  // written by this routine. Sets "*result" to the data that was
+  // read (including if fewer than "n" bytes were successfully read).
+  // May set "*result" to point at data in "scratch[0..n-1]", so
+  // "scratch[0..n-1]" must be live when "*result" is used.
+  // If an error was encountered, returns a non-OK status.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  // Skip "n" bytes from the file.
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// A file abstraction for randomly reading the contents of a file.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  virtual ~RandomAccessFile();
+
+  // Read up to "n" bytes from the file starting at "offset".
+  // "scratch[0..n-1]" may be written by this routine. Sets "*result"
+  // to the data that was read (including if fewer than "n" bytes were
+  // successfully read). May set "*result" to point at data in
+  // "scratch[0..n-1]", so "scratch[0..n-1]" must be live when
+  // "*result" is used. If an error was encountered, returns a non-OK
+  // status.
+  //
+  // Safe for concurrent use by multiple threads.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// A file abstraction for sequential writing. The implementation
+// must provide buffering since callers may append small fragments
+// at a time to the file.
+class WritableFile {
+ public:
+  WritableFile() = default;
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  virtual ~WritableFile();
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+};
+
+// Identifies a locked file.
+class FileLock {
+ public:
+  FileLock() = default;
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  virtual ~FileLock();
+};
+
+// A utility routine: write "data" to the named file.
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname);
+
+// A utility routine: write "data" to the named file and Sync() it.
+Status WriteStringToFileSync(Env* env, const Slice& data,
+                             const std::string& fname);
+
+// A utility routine: read contents of named file into *data.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+// Returns a new Env that stores its data in memory. The returned Env is
+// fully deterministic (its clock is a simple counter), which makes it the
+// right environment for tests and for the SSD simulator. Takes ownership
+// of nothing; the caller owns the result.
+Env* NewMemEnv();
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_ENV_H_

@@ -1,0 +1,57 @@
+// A database can be configured with a custom FilterPolicy object.
+// This object is responsible for creating a small filter from a set
+// of keys. These filters are stored in sstables and are consulted
+// automatically by the DB to decide whether or not to read some
+// information from disk. In many cases, a filter can cut down the
+// number of disk seeks from a handful to a single disk seek per
+// DB::Get() call — and, with LDC, suppress reads of linked slices
+// that do not contain the target key (paper §III-C, Fig. 13).
+
+#ifndef LDC_INCLUDE_FILTER_POLICY_H_
+#define LDC_INCLUDE_FILTER_POLICY_H_
+
+#include <string>
+
+#include "ldc/slice.h"
+
+namespace ldc {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy();
+
+  // Return the name of this policy. Note that if the filter encoding
+  // changes in an incompatible way, the name returned by this method
+  // must be changed. Otherwise, old incompatible filters may be
+  // passed to methods of this type.
+  virtual const char* Name() const = 0;
+
+  // keys[0,n-1] contains a list of keys (potentially with duplicates)
+  // that are ordered according to the user supplied comparator.
+  // Append a filter that summarizes keys[0,n-1] to *dst.
+  //
+  // Warning: do not change the initial contents of *dst. Instead,
+  // append the newly constructed filter to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  // "filter" contains the data appended by a preceding call to
+  // CreateFilter() on this class. This method must return true if
+  // the key was in the list of keys passed to CreateFilter().
+  // This method may return true or false if the key was not on the
+  // list, but it should aim to return false with a high probability.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Return a new filter policy that uses a bloom filter with approximately
+// the specified number of bits per key. A good value for bits_per_key
+// is 10, which yields a filter with ~1% false positive rate. The paper's
+// Fig. 12(c)/(f) and Fig. 13 sweep this parameter from 8 to 200.
+//
+// Callers must delete the result after any database that is using the
+// result has been closed.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_FILTER_POLICY_H_

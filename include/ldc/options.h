@@ -1,0 +1,207 @@
+#ifndef LDC_INCLUDE_OPTIONS_H_
+#define LDC_INCLUDE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldc {
+
+class Cache;
+class Comparator;
+class Env;
+class FilterPolicy;
+class SimContext;
+class Snapshot;
+class Statistics;
+
+// DB contents are stored in a set of blocks, each of which holds a
+// sequence of key,value pairs. Each block may be compressed before
+// being stored in a file. The following enum describes which
+// compression method (if any) is used to compress a block.
+enum CompressionType {
+  // NOTE: do not change the values of existing entries, as these are
+  // part of the persistent format on disk.
+  kNoCompression = 0x0,
+};
+
+// Which compaction algorithm drives data down the LSM-tree.
+enum class CompactionStyle {
+  // Traditional Upper-level Driven Compaction: the LevelDB baseline the
+  // paper calls UDC. Picking an upper-level SSTable immediately merges it
+  // with every overlapping SSTable in the next level.
+  kUdc = 0,
+  // The paper's Lower-level Driven Compaction: picking an upper-level
+  // SSTable only *links* its slices to the overlapping lower-level
+  // SSTables (metadata, no I/O) and freezes the file; actual merge I/O is
+  // triggered per lower-level SSTable once it has accumulated
+  // `slice_link_threshold` slices.
+  kLdc = 1,
+  // A size-tiered "lazy" baseline (Cassandra STCS / RocksDB universal
+  // style, paper §I and §V): all files live in level 0; once `fan_out`
+  // files of similar size accumulate they are merged into one bigger file.
+  // Minimizes write amplification but each merge grows with the tier size —
+  // the enlarged-batch behaviour whose tail latency motivates the paper.
+  kTiered = 2,
+};
+
+// Options to control the behavior of a database (passed to DB::Open).
+struct Options {
+  Options();
+
+  // -------------------
+  // Parameters that affect behavior
+
+  // Comparator used to define the order of keys in the table.
+  // Default: a comparator that uses lexicographic byte-wise ordering
+  //
+  // REQUIRES: The client must ensure that the comparator supplied
+  // here has the same name and orders keys *exactly* the same as the
+  // comparator provided to previous open calls on the same DB.
+  const Comparator* comparator;
+
+  // If true, the database will be created if it is missing.
+  bool create_if_missing = false;
+
+  // If true, an error is raised if the database already exists.
+  bool error_if_exists = false;
+
+  // If true, the implementation will do aggressive checking of the
+  // data it is processing and will stop early if it detects any
+  // errors.
+  bool paranoid_checks = false;
+
+  // Use the specified object to interact with the environment,
+  // e.g. to read/write files. Default: Env::Default()
+  Env* env;
+
+  // -------------------
+  // Parameters that affect performance
+
+  // Amount of data to build up in memory (backed by an unsorted log
+  // on disk) before converting to a sorted on-disk file. The paper's
+  // LevelDB setup uses 2 MB memtables; benches scale this down together
+  // with the workload size (DESIGN.md, scaling note).
+  size_t write_buffer_size = 2 * 1024 * 1024;
+
+  // Control over blocks (user data is stored in a set of blocks, and
+  // a block is the unit of reading from disk).
+
+  // If non-null, use the specified cache for blocks.
+  // If null, the DB will create and use an internal 8 MB cache.
+  Cache* block_cache = nullptr;
+
+  // Approximate size of user data packed per block.
+  size_t block_size = 4 * 1024;
+
+  // Number of keys between restart points for delta encoding of keys.
+  // Most clients should leave this parameter alone.
+  int block_restart_interval = 16;
+
+  // The DB will write up to this amount of data to a file before
+  // switching to a new one. The paper uses 2 MB SSTables.
+  size_t max_file_size = 2 * 1024 * 1024;
+
+  // Compress blocks using the specified compression algorithm.
+  // Only kNoCompression is supported; the paper's experiments do not
+  // rely on compression and it would distort the I/O accounting.
+  CompressionType compression = kNoCompression;
+
+  // If non-null, use the specified filter policy to reduce disk reads.
+  // Many applications will benefit from passing the result of
+  // NewBloomFilterPolicy() here. With LDC, bloom filters also suppress
+  // reads of linked slices (paper §III-C).
+  const FilterPolicy* filter_policy = nullptr;
+
+  // Number of open files that can be used by the DB (table cache size).
+  int max_open_files = 1000;
+
+  // -------------------
+  // LSM-tree shape and compaction scheduling (paper parameters)
+
+  // Compaction algorithm; the paper's comparison is kUdc vs kLdc.
+  CompactionStyle compaction_style = CompactionStyle::kUdc;
+
+  // Fan-out `k`: the capacity ratio between adjacent levels
+  // (Definition 2.5). Fig. 7 and Fig. 12(b)/(e) sweep this from 3 to 100.
+  int fan_out = 10;
+
+  // Target size of level 1. Level L (L >= 1) targets
+  // level1_max_bytes * fan_out^(L-1). Scaled down together with
+  // write_buffer_size for laptop-scale runs.
+  uint64_t level1_max_bytes = 10 * 1024 * 1024;
+
+  // Number of levels in the tree (including level 0).
+  int num_levels = 7;
+
+  // Level-0 scheduling thresholds (LevelDB semantics): compaction is
+  // triggered at `l0_compaction_trigger` files, writes are delayed by
+  // 1ms each when `l0_slowdown_trigger` is reached, and writes hard-stop
+  // at `l0_stop_trigger`.
+  int l0_compaction_trigger = 4;
+  int l0_slowdown_trigger = 8;
+  int l0_stop_trigger = 12;
+
+  // -------------------
+  // LDC-specific parameters (ignored under kUdc)
+
+  // SliceLink threshold T_s: a lower-level SSTable triggers a merge once
+  // it has accumulated this many linked slices. 0 means "same as
+  // fan_out", which Fig. 12(a) finds to be the best fixed setting.
+  int slice_link_threshold = 0;
+
+  // §III-B4: adapt T_s to the observed read/write mix — smaller for
+  // read-dominated phases (fewer slices to check), larger for
+  // write-dominated phases (less write amplification).
+  bool adaptive_slice_threshold = false;
+
+  // Safety valve: force a merge of the most-linked SSTable when the frozen
+  // region exceeds this fraction of live data (keeps the paper's §IV-J
+  // space overhead bounded). <= 0 disables the valve.
+  double frozen_space_limit_ratio = 0.5;
+
+  // -------------------
+  // Instrumentation
+
+  // If non-null, collect the counters/latency histograms the paper reports.
+  Statistics* statistics = nullptr;
+
+  // If non-null, run against the discrete-event SSD simulator: background
+  // flush/compaction is scheduled on the simulated device timeline and all
+  // foreground I/O advances the virtual clock. If null, background work
+  // runs synchronously at the trigger point against the real Env.
+  SimContext* sim = nullptr;
+};
+
+// Options that control read operations.
+struct ReadOptions {
+  ReadOptions() = default;
+
+  // If true, all data read from underlying storage will be
+  // verified against corresponding checksums.
+  bool verify_checksums = false;
+
+  // Should the data read for this iteration be cached in memory?
+  // Callers may wish to set this field to false for bulk scans.
+  bool fill_cache = true;
+
+  // If "snapshot" is non-null, read as of the supplied snapshot
+  // (which must belong to the DB that is being read and which must
+  // not have been released). If "snapshot" is null, use an implicit
+  // snapshot of the state at the beginning of this read operation.
+  const Snapshot* snapshot = nullptr;
+};
+
+// Options that control write operations.
+struct WriteOptions {
+  WriteOptions() = default;
+
+  // If true, the write will be flushed from the operating system
+  // buffer cache (by calling WritableFile::Sync()) before the write
+  // is considered complete. If this flag is true, writes will be
+  // slower.
+  bool sync = false;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_OPTIONS_H_

@@ -1,0 +1,191 @@
+// The SSD simulation substrate.
+//
+// The paper evaluates LDC on an enterprise PCIe SSD (Memblaze Q520). This
+// module substitutes that hardware with a parameterized timing model driving
+// a deterministic discrete-event virtual clock:
+//
+//  * Foreground I/O (WAL appends, data-block reads) advances the virtual
+//    clock by the model cost of the transfer, inflated by a contention
+//    factor while a background job occupies the device.
+//  * Background jobs (memtable flushes, UDC compactions, LDC merges) are
+//    scheduled on a FIFO device timeline; their version edits are applied
+//    when the clock passes their completion time — or immediately when a
+//    foreground write must stall on them (immutable-memtable wait, level-0
+//    slowdown/stop), which is exactly where LSM tail latency comes from.
+//
+// Throughput, latency percentiles, stall time, and the busy-time breakdown
+// of Table I are all measured in this virtual time; I/O volumes and wear
+// are exact byte counters.
+//
+// A SimContext is single-threaded by design: the DB that owns it runs its
+// client operations and compaction work on one thread, which is what makes
+// runs bit-for-bit reproducible.
+
+#ifndef LDC_INCLUDE_SIM_H_
+#define LDC_INCLUDE_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ldc {
+
+// Timing and endurance model of a flash SSD. Defaults approximate an
+// enterprise PCIe drive of the paper's era: reads are several times
+// faster than writes ("unbalanced read/write performance", §I).
+struct SsdModel {
+  // Sequential/streaming bandwidths.
+  double read_bandwidth_mbps = 2800.0;
+  double write_bandwidth_mbps = 600.0;
+
+  // Fixed per-I/O setup latency (command + flash access).
+  double read_latency_us = 90.0;
+  double write_latency_us = 25.0;
+
+  // Cost of a buffered append (WAL writes without sync): the bytes stream
+  // through the page cache, so only bandwidth plus a tiny CPU cost is paid.
+  double buffered_append_latency_us = 0.5;
+
+  // Multiplier applied to foreground I/O cost while a background job
+  // occupies the device (they share channels and the FTL).
+  double contention_factor = 2.0;
+
+  // Flash geometry, used for wear/endurance accounting only.
+  uint64_t page_bytes = 4096;
+  uint64_t pages_per_erase_block = 256;
+  // Rated program/erase cycles per cell (paper cites 5,000 ~ 10,000).
+  uint64_t pe_cycle_limit = 5000;
+  // Advertised capacity; used to convert total written bytes into
+  // estimated average P/E cycles consumed.
+  uint64_t capacity_bytes = 8ull << 30;
+
+  // Cost in microseconds of reading / writing `bytes` bytes.
+  double ReadCostMicros(uint64_t bytes) const {
+    return read_latency_us + bytes / read_bandwidth_mbps;  // 1 MB/s == 1 B/us
+  }
+  double WriteCostMicros(uint64_t bytes) const {
+    return write_latency_us + bytes / write_bandwidth_mbps;
+  }
+};
+
+// Activity classes for the busy-time ledger (reproduces Table I).
+enum class SimActivity : int {
+  kCompaction = 0,  // UDC compaction + LDC merge work
+  kFlush,           // memtable flush I/O
+  kWal,             // write-ahead-log appends ("file system" share)
+  kUserRead,        // data-block reads serving user requests
+  kCpu,             // memtable insert / lookup / iteration CPU cost
+  kActivityCount
+};
+
+const char* SimActivityName(SimActivity activity);
+
+class SimContext {
+ public:
+  explicit SimContext(const SsdModel& model);
+  ~SimContext();
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  const SsdModel& model() const { return model_; }
+
+  // --- Virtual clock -------------------------------------------------------
+
+  uint64_t NowMicros() const { return now_us_; }
+
+  // Advances the clock by `micros`, attributing the time to `activity`.
+  void AdvanceMicros(double micros, SimActivity activity);
+
+  // --- Foreground I/O charging --------------------------------------------
+  // No-ops while inside a background scope (the job's scheduled duration
+  // already accounts for its I/O).
+
+  void ChargeForegroundRead(uint64_t bytes);
+  void ChargeForegroundWrite(uint64_t bytes, SimActivity activity);
+  // Buffered append (used for non-sync WAL writes): bandwidth cost only
+  // plus SsdModel::buffered_append_latency_us.
+  void ChargeBufferedAppend(uint64_t bytes, SimActivity activity);
+
+  // --- Background jobs ------------------------------------------------------
+
+  // Schedules a background job that will read `read_bytes` and write
+  // `write_bytes`. `apply` runs when the job completes (it performs the
+  // actual data movement and version installation). Returns the job's
+  // completion time in virtual microseconds.
+  uint64_t ScheduleBackground(uint64_t read_bytes, uint64_t write_bytes,
+                              SimActivity activity,
+                              std::function<void()> apply);
+
+  // Applies every job whose completion time is <= NowMicros().
+  void Pump();
+
+  // Advances the clock to the next job completion and applies it.
+  // Returns false if no background job is pending.
+  bool WaitForNextBackgroundJob();
+
+  // Advances the clock past every pending background job. Called by
+  // benches after the workload finishes so throughput includes the
+  // trailing compaction debt.
+  void Drain();
+
+  bool HasPendingBackgroundJobs() const;
+  // Virtual time at which the device becomes idle (>= NowMicros() when busy).
+  uint64_t DeviceBusyUntil() const;
+
+  // Background scope: while set, ChargeForeground* and per-op CPU charges
+  // are suppressed. The DB sets this while executing job `apply` bodies.
+  class BackgroundScope {
+   public:
+    explicit BackgroundScope(SimContext* sim);
+    ~BackgroundScope();
+
+    BackgroundScope(const BackgroundScope&) = delete;
+    BackgroundScope& operator=(const BackgroundScope&) = delete;
+
+   private:
+    SimContext* const sim_;
+  };
+  bool in_background() const { return background_depth_ > 0; }
+
+  // --- Accounting -----------------------------------------------------------
+
+  // Busy virtual-microseconds per activity (Table I's breakdown).
+  uint64_t BusyMicros(SimActivity activity) const;
+  // Total bytes physically written (WAL + flush + compaction), feeding the
+  // endurance estimate.
+  uint64_t TotalBytesWritten() const { return total_bytes_written_; }
+  uint64_t TotalBytesRead() const { return total_bytes_read_; }
+  // Average P/E cycles consumed so far = written / capacity.
+  double EstimatedPeCyclesConsumed() const;
+  // Fraction of rated endurance used, in [0, ...).
+  double EnduranceFractionUsed() const;
+
+  std::string ReportBreakdown() const;
+
+ private:
+  friend class BackgroundScope;
+
+  struct Job;
+
+  // Push pending background completions later by `cost_us` when foreground
+  // I/O competes for the device.
+  void OccupyDevice(double cost_us);
+
+  void ApplyJob(Job* job);
+
+  const SsdModel model_;
+  uint64_t now_us_;
+  int background_depth_;
+
+  struct Impl;
+  Impl* impl_;
+
+  uint64_t busy_us_[static_cast<int>(SimActivity::kActivityCount)];
+  uint64_t total_bytes_written_;
+  uint64_t total_bytes_read_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_SIM_H_

@@ -1,0 +1,60 @@
+// Planning helpers for LDC's two-phase compaction (paper §III-B).
+//
+// The *link* phase freezes an upper-level SSTable and attaches one slice to
+// each lower-level SSTable whose responsibility key-range the upper file
+// overlaps. Responsibility ranges partition the whole key space among the
+// files of a level (Example 3.2): file i owns (file[i-1].largest ..
+// file[i].largest], the first file's range starts at -inf and the last
+// file's extends to +inf. This accumulates roughly file-sized amounts of
+// upper-level data per lower-level SSTable before any merge I/O happens.
+//
+// The *merge* phase (triggered once a lower file holds >= T_s slices) is
+// planned and executed by the DB (db_impl.cc); this module only plans links.
+
+#ifndef LDC_DB_COMPACTION_H_
+#define LDC_DB_COMPACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/version_edit.h"
+
+namespace ldc {
+
+class TableCache;
+class VersionSet;
+
+// One slice of the link plan: the upper file's overlap with a single
+// lower-level SSTable's responsibility range.
+struct LdcSlicePlan {
+  uint64_t lower_file_number = 0;
+  uint64_t lower_file_size = 0;
+  SliceLinkMeta link;
+  int resulting_link_count = 0;        // links on the lower file after this
+  uint64_t resulting_linked_bytes = 0;  // linked bytes after this
+};
+
+// The full plan of a link operation for one upper-level file.
+struct LdcLinkPlan {
+  int level = 0;            // level the upper file is frozen from
+  FrozenFileMeta frozen;    // the upper file's frozen-region metadata
+  std::vector<LdcSlicePlan> slices;
+  // True when the next level is empty: the file simply moves down, no
+  // freeze and no links.
+  bool trivial_move = false;
+};
+
+// Computes the link plan for moving `upper` (a file in `level` of the
+// current version) down to `level + 1`. Uses the upper table's index to
+// apportion its bytes among the slices. Does not mutate any state.
+void BuildLdcLinkPlan(VersionSet* vset, TableCache* table_cache,
+                      const FileMetaData& upper, int level, LdcLinkPlan* plan);
+
+// Translates a link plan into VersionEdit records: removes the upper file
+// from its level and, unless the plan is a trivial move, adds the frozen
+// file and its slice links.
+void ApplyLinkPlanToEdit(const LdcLinkPlan& plan, VersionEdit* edit);
+
+}  // namespace ldc
+
+#endif  // LDC_DB_COMPACTION_H_

@@ -1,0 +1,1957 @@
+#include "db/db_impl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "db/builder.h"
+#include "db/compaction.h"
+#include "db/db_iter.h"
+#include "db/dbformat.h"
+#include "db/filename.h"
+#include "db/table_cache.h"
+#include "db/version_edit.h"
+#include "db/version_set.h"
+#include "db/write_batch_internal.h"
+#include "ldc/cache.h"
+#include "ldc/env.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "ldc/write_batch.h"
+#include "memtbl/memtable.h"
+#include "table/merger.h"
+#include "table/table_builder.h"
+#include "util/coding.h"
+#include "util/logging.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace ldc {
+
+namespace {
+
+// Background job kinds (see DBImpl::RunBackgroundJob).
+enum BackgroundJobKind {
+  kJobFlush = 0,
+  kJobUdcCompaction = 1,
+  kJobLdcMerge = 2,
+  kJobTieredMerge = 3,
+};
+
+// CPU cost constants for the simulator's virtual clock (microseconds).
+constexpr double kMemTableInsertCpuUs = 1.0;
+constexpr double kPointLookupCpuUs = 1.5;
+
+// Forward-only iterator over the internal-key range [smallest, largest]
+// of a wrapped iterator. Used to read one slice of a frozen file during an
+// LDC merge: only the blocks covering the slice are touched.
+class BoundedIterator : public Iterator {
+ public:
+  BoundedIterator(const InternalKeyComparator* icmp, Iterator* iter,
+                  const InternalKey& smallest, const InternalKey& largest)
+      : icmp_(icmp),
+        iter_(iter),
+        smallest_(smallest.Encode().ToString()),
+        largest_(largest.Encode().ToString()) {}
+
+  ~BoundedIterator() override { delete iter_; }
+
+  bool Valid() const override {
+    return iter_->Valid() &&
+           icmp_->Compare(iter_->key(), Slice(largest_)) <= 0;
+  }
+  void SeekToFirst() override { iter_->Seek(Slice(smallest_)); }
+  void Seek(const Slice& target) override {
+    if (icmp_->Compare(target, Slice(smallest_)) < 0) {
+      iter_->Seek(Slice(smallest_));
+    } else {
+      iter_->Seek(target);
+    }
+  }
+  void Next() override {
+    assert(Valid());
+    iter_->Next();
+  }
+  void SeekToLast() override { assert(false); }
+  void Prev() override { assert(false); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  const InternalKeyComparator* const icmp_;
+  Iterator* const iter_;
+  const std::string smallest_;
+  const std::string largest_;
+};
+
+template <class T, class V>
+static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
+  if (static_cast<V>(*ptr) > maxvalue) *ptr = maxvalue;
+  if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
+}
+
+}  // namespace
+
+struct DBImpl::CompactionState {
+  // Files produced by compaction
+  struct Output {
+    uint64_t number;
+    uint64_t file_size;
+    InternalKey smallest, largest;
+  };
+
+  Output* current_output() { return &outputs[outputs.size() - 1]; }
+
+  explicit CompactionState(Compaction* c)
+      : compaction(c),
+        smallest_snapshot(0),
+        outfile(nullptr),
+        builder(nullptr),
+        total_bytes(0) {}
+
+  Compaction* const compaction;
+
+  // Sequence numbers < smallest_snapshot are not significant since we
+  // will never have to service a snapshot below smallest_snapshot.
+  // Therefore if we have seen a sequence number S <= smallest_snapshot,
+  // we can drop all entries for the same key with sequence numbers < S.
+  SequenceNumber smallest_snapshot;
+
+  std::vector<Output> outputs;
+
+  // State kept for output being generated
+  WritableFile* outfile;
+  TableBuilder* builder;
+
+  uint64_t total_bytes;
+};
+
+Options SanitizeOptions(const std::string& dbname,
+                        const InternalKeyComparator* icmp,
+                        const InternalFilterPolicy* ipolicy,
+                        const Options& src) {
+  Options result = src;
+  result.comparator = icmp;
+  result.filter_policy = (src.filter_policy != nullptr) ? ipolicy : nullptr;
+  ClipToRange(&result.max_open_files, 64 + 10, 50000);
+  ClipToRange(&result.write_buffer_size, 16 << 10, 1 << 30);
+  ClipToRange(&result.max_file_size, 16 << 10, 1 << 30);
+  ClipToRange(&result.block_size, 256, 4 << 20);
+  ClipToRange(&result.fan_out, 2, 1000);
+  ClipToRange(&result.num_levels, 2, config::kMaxNumLevels);
+  if (result.block_cache == nullptr) {
+    result.block_cache = NewLRUCache(8 << 20);
+  }
+  (void)dbname;
+  return result;
+}
+
+static int TableCacheSize(const Options& sanitized_options) {
+  // Reserve ten files or so for other uses and give the rest to TableCache.
+  return sanitized_options.max_open_files - 10;
+}
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(raw_options.env),
+      internal_comparator_(raw_options.comparator),
+      internal_filter_policy_(raw_options.filter_policy),
+      options_(SanitizeOptions(dbname, &internal_comparator_,
+                               &internal_filter_policy_, raw_options)),
+      owns_cache_(raw_options.block_cache == nullptr),
+      dbname_(dbname),
+      table_cache_(new TableCache(dbname_, options_, TableCacheSize(options_))),
+      db_lock_(nullptr),
+      mem_(nullptr),
+      imm_(nullptr),
+      logfile_(nullptr),
+      logfile_number_(0),
+      log_(nullptr),
+      background_job_pending_(false),
+      in_background_work_(false),
+      window_writes_(0),
+      window_reads_(0),
+      smoothed_write_fraction_(0.5),
+      versions_(nullptr),
+      sim_(raw_options.sim),
+      stats_(raw_options.statistics) {
+  versions_ = new VersionSet(dbname_, &options_, table_cache_,
+                             &internal_comparator_);
+}
+
+DBImpl::~DBImpl() {
+  // Finish any scheduled-but-unapplied background work so the on-disk state
+  // is consistent with the manifest.
+  if (sim_ != nullptr) {
+    sim_->Drain();
+  }
+
+  delete versions_;
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+  delete log_;
+  delete logfile_;
+  delete table_cache_;
+
+  if (db_lock_ != nullptr) {
+    env_->UnlockFile(db_lock_);
+  }
+
+  if (owns_cache_) {
+    // SanitizeOptions created this cache on the caller's behalf.
+    delete options_.block_cache;
+  }
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  WritableFile* file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file);
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  delete file;
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live files
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case kLogFile:
+          keep = ((number >= versions_->LogNumber()) ||
+                  (number == versions_->PrevLogNumber()));
+          break;
+        case kDescriptorFile:
+          // Keep my manifest file, and any newer incarnations'
+          // (in case there is a race that allows other incarnations)
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case kTempFile:
+          // Any temp files that are currently being written to must
+          // be recorded in pending_outputs_, which is inserted into "live"
+          keep = (live.find(number) != live.end());
+          break;
+        case kCurrentFile:
+        case kDBLockFile:
+        case kInfoLogFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == kTableFile) {
+          table_cache_->Evict(number);
+        }
+      }
+    }
+  }
+
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+}
+
+Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
+  // Ignore error from CreateDir since the creation of the DB is
+  // committed only when the descriptor file is created, and this directory
+  // may already exist from a previous failed creation attempt.
+  env_->CreateDir(dbname_);
+  assert(db_lock_ == nullptr);
+  Status s = env_->LockFile(LockFileName(dbname_), &db_lock_);
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_,
+                                     "exists (error_if_exists is true)");
+    }
+  }
+
+  s = versions_->Recover(save_manifest);
+  if (!s.ok()) {
+    return s;
+  }
+  SequenceNumber max_sequence(0);
+
+  // Recover from all newer log files than the ones named in the
+  // descriptor (new log files may have been added by the previous
+  // incarnation without registering them in the descriptor).
+  const uint64_t min_log = versions_->LogNumber();
+  const uint64_t prev_log = versions_->PrevLogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::set<uint64_t> expected;
+  versions_->AddLiveFiles(&expected);
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> logs;
+  for (size_t i = 0; i < filenames.size(); i++) {
+    if (ParseFileName(filenames[i], &number, &type)) {
+      expected.erase(number);
+      if (type == kLogFile && ((number >= min_log) || (number == prev_log)))
+        logs.push_back(number);
+    }
+  }
+  if (!expected.empty()) {
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%d missing files; e.g.",
+                  static_cast<int>(expected.size()));
+    return Status::Corruption(buf, TableFileName(dbname_, *(expected.begin())));
+  }
+
+  // Recover in the order in which the logs were generated
+  std::sort(logs.begin(), logs.end());
+  for (size_t i = 0; i < logs.size(); i++) {
+    s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
+                       &max_sequence);
+    if (!s.ok()) {
+      return s;
+    }
+
+    // The previous incarnation may not have written any MANIFEST
+    // records after allocating this log number. So we manually
+    // update the file number allocation counter in VersionSet.
+    versions_->MarkFileNumberUsed(logs[i]);
+  }
+
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
+                              bool* save_manifest, VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    const char* fname;
+    Status* status;  // null if options_.paranoid_checks==false
+    void Corruption(size_t bytes, const Status& s) override {
+      std::fprintf(stderr, "%s: dropping %d bytes; %s\n", fname,
+                   static_cast<int>(bytes), s.ToString().c_str());
+      if (this->status != nullptr && this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Open the log file
+  std::string fname = LogFileName(dbname_, log_number);
+  SequentialFile* file;
+  Status status = env_->NewSequentialFile(fname, &file);
+  if (!status.ok()) {
+    return status;
+  }
+
+  // Create the log reader.
+  LogReporter reporter;
+  reporter.fname = fname.c_str();
+  reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  // We intentionally make log::Reader do checksumming even if
+  // paranoid_checks==false so that corruptions cause entire commits
+  // to be skipped instead of propagating bad information (like overly
+  // large sequence numbers).
+  log::Reader reader(file, &reporter, true /*checksum*/, 0 /*initial_offset*/);
+
+  // Read all the records and add to a memtable
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  int compactions = 0;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && status.ok()) {
+    if (record.size() < 12) {
+      reporter.Corruption(record.size(),
+                          Status::Corruption("log record too small"));
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    status = WriteBatchInternal::InsertInto(&batch, mem);
+    if (!status.ok()) {
+      break;
+    }
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      compactions++;
+      *save_manifest = true;
+      status = WriteLevel0Table(mem, edit, nullptr);
+      mem->Unref();
+      mem = nullptr;
+      if (!status.ok()) {
+        // Reflect errors immediately so that conditions like full
+        // file-systems cause the DB::Open() to fail.
+        break;
+      }
+    }
+  }
+
+  delete file;
+
+  // See if we should keep reusing the last log file.
+  if (status.ok() && last_log && compactions == 0 && mem != nullptr &&
+      mem->ApproximateMemoryUsage() == 0) {
+    // Empty log file: nothing to save.
+  }
+
+  if (mem != nullptr) {
+    // mem did not get reused; compact it.
+    if (status.ok()) {
+      *save_manifest = true;
+      status = WriteLevel0Table(mem, edit, nullptr);
+    }
+    mem->Unref();
+  }
+
+  return status;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
+                                Version* base) {
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+  Iterator* iter = mem->NewIterator();
+
+  Status s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
+  delete iter;
+  pending_outputs_.erase(meta.number);
+
+  // Note that if file_size is zero, the file has been deleted and
+  // should not be added to the manifest.
+  int level = 0;
+  if (s.ok() && meta.file_size > 0) {
+    const Slice min_user_key = meta.smallest.user_key();
+    const Slice max_user_key = meta.largest.user_key();
+    if (base != nullptr) {
+      level = base->PickLevelForMemTableOutput(min_user_key, max_user_key);
+    }
+    edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
+                  meta.largest);
+    if (stats_ != nullptr) {
+      stats_->Record(kFlushes);
+      stats_->Record(kFlushWriteBytes, meta.file_size);
+    }
+  }
+
+  return s;
+}
+
+Status DBImpl::CompactMemTable() {
+  assert(imm_ != nullptr);
+
+  // Save the contents of the memtable as a new Table
+  VersionEdit edit;
+  Version* base = versions_->current();
+  base->Ref();
+  Status s = WriteLevel0Table(imm_, &edit, base);
+  base->Unref();
+
+  // Replace immutable memtable with the generated Table
+  if (s.ok()) {
+    edit.SetPrevLogNumber(0);
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    s = versions_->LogAndApply(&edit);
+  }
+
+  if (s.ok()) {
+    // Commit to the new state
+    imm_->Unref();
+    imm_ = nullptr;
+    RemoveObsoleteFiles();
+  } else {
+    RecordBackgroundError(s);
+  }
+  return s;
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+  }
+}
+
+uint64_t DBImpl::NowMicros() const {
+  return sim_ != nullptr ? sim_->NowMicros() : env_->NowMicros();
+}
+
+void DBImpl::ObserveOp(bool is_write) {
+  if (is_write) {
+    window_writes_++;
+  } else {
+    window_reads_++;
+  }
+  const uint64_t total = window_writes_ + window_reads_;
+  if (total >= 1024) {
+    const double w = static_cast<double>(window_writes_) / total;
+    smoothed_write_fraction_ = 0.7 * smoothed_write_fraction_ + 0.3 * w;
+    window_writes_ = 0;
+    window_reads_ = 0;
+  }
+}
+
+int DBImpl::EffectiveSliceThreshold() const {
+  const int base = options_.slice_link_threshold > 0
+                       ? options_.slice_link_threshold
+                       : options_.fan_out;
+  if (!options_.adaptive_slice_threshold) {
+    return base;
+  }
+  // §III-B4: small T_s for read-dominated phases (fewer slices to probe),
+  // large T_s for write-dominated phases (less write amplification).
+  const double w = smoothed_write_fraction_;
+  const int max_threshold = 2 * options_.fan_out;
+  int t = static_cast<int>(2 + (max_threshold - 2) * w + 0.5);
+  if (t < 2) t = 2;
+  if (t > max_threshold) t = max_threshold;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Background-work orchestration
+// ---------------------------------------------------------------------------
+
+void DBImpl::MaybeScheduleCompaction() {
+  if (background_job_pending_ || in_background_work_ || !bg_error_.ok()) {
+    return;
+  }
+  if (sim_ != nullptr) {
+    ScheduleBackgroundWork();
+  } else {
+    while (ScheduleBackgroundWork()) {
+    }
+  }
+}
+
+bool DBImpl::ScheduleBackgroundWork() {
+  if (background_job_pending_ || !bg_error_.ok()) return false;
+
+  auto start_job = [this](int kind, uint64_t arg, uint64_t read_bytes,
+                          uint64_t write_bytes, SimActivity activity) {
+    background_job_pending_ = true;
+    if (sim_ != nullptr) {
+      sim_->ScheduleBackground(read_bytes, write_bytes, activity,
+                               [this, kind, arg]() {
+                                 RunBackgroundJob(kind, arg);
+                               });
+    } else {
+      RunBackgroundJob(kind, arg);
+    }
+  };
+
+  // 1. Flushing the immutable memtable has priority: user writes stall
+  //    behind it.
+  if (imm_ != nullptr) {
+    start_job(kJobFlush, 0, 0, imm_->ApproximateMemoryUsage(),
+              SimActivity::kFlush);
+    return true;
+  }
+
+  if (options_.compaction_style == CompactionStyle::kTiered) {
+    // 2c. Lazy baseline: merge a tier of similarly-sized level-0 files.
+    uint64_t total_bytes = 0;
+    std::vector<uint64_t> group = PickTieredGroup(&total_bytes);
+    if (group.empty()) return false;
+    assert(scheduled_tier_group_.empty());
+    scheduled_tier_group_ = std::move(group);
+    start_job(kJobTieredMerge, 0, total_bytes, total_bytes,
+              SimActivity::kCompaction);
+    return true;
+  }
+
+  if (options_.compaction_style == CompactionStyle::kLdc) {
+    // 2a. LDC: run the (instant, metadata-only) link phase, then schedule
+    //     the next queued merge if any lower file crossed T_s.
+    DoLdcLinkWork();
+    if (!pending_merges_.empty()) {
+      const uint64_t lower = pending_merges_.front();
+      uint64_t lower_size = 0;
+      for (int level = 0; level < versions_->NumLevels(); level++) {
+        for (FileMetaData* f : versions_->current()->files(level)) {
+          if (f->number == lower) {
+            lower_size = f->file_size;
+            break;
+          }
+        }
+      }
+      const uint64_t slice_bytes = versions_->registry()->LinkedBytes(lower);
+      start_job(kJobLdcMerge, lower, lower_size + slice_bytes,
+                lower_size + slice_bytes, SimActivity::kCompaction);
+      return true;
+    }
+    return false;
+  }
+
+  // 2b. UDC: pick a classic compaction. Trivial moves are pure metadata and
+  //     are applied instantly.
+  while (versions_->NeedsCompaction()) {
+    Compaction* c = versions_->PickCompaction();
+    if (c == nullptr) break;
+    if (c->IsTrivialMove()) {
+      assert(c->num_input_files(0) == 1);
+      FileMetaData* f = c->input(0, 0);
+      c->edit()->RemoveFile(c->level(), f->number);
+      c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
+                         f->largest);
+      Status s = versions_->LogAndApply(c->edit());
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      }
+      if (stats_ != nullptr) stats_->Record(kTrivialMoves);
+      delete c;
+      continue;
+    }
+    const uint64_t input_bytes = c->TotalInputBytes();
+    // Stash the picked compaction for the job body. Only one job can be
+    // outstanding, so a single slot suffices.
+    assert(scheduled_udc_ == nullptr);
+    scheduled_udc_ = c;
+    start_job(kJobUdcCompaction, 0, input_bytes, input_bytes,
+              SimActivity::kCompaction);
+    return true;
+  }
+  return false;
+}
+
+void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
+  in_background_work_ = true;
+  const uint64_t start_us = NowMicros();
+  switch (job_kind) {
+    case kJobFlush: {
+      CompactMemTable();
+      break;
+    }
+    case kJobUdcCompaction: {
+      Compaction* c = scheduled_udc_;
+      scheduled_udc_ = nullptr;
+      BackgroundCompactionUdc(c);
+      break;
+    }
+    case kJobLdcMerge: {
+      assert(!pending_merges_.empty() && pending_merges_.front() == arg);
+      pending_merges_.pop_front();
+      pending_merge_set_.erase(arg);
+      Status s = DoLdcMerge(arg);
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      }
+      break;
+    }
+    case kJobTieredMerge: {
+      std::vector<uint64_t> group = std::move(scheduled_tier_group_);
+      scheduled_tier_group_.clear();
+      Status s = DoTieredMerge(group);
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      }
+      break;
+    }
+    default:
+      assert(false);
+  }
+  if (stats_ != nullptr && job_kind != kJobFlush) {
+    stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
+                          static_cast<double>(NowMicros() - start_us));
+  }
+  in_background_work_ = false;
+  background_job_pending_ = false;
+  // Chain the next unit of background work (a flush may have been blocked
+  // behind this job, or a merge may be queued).
+  if (sim_ != nullptr) {
+    ScheduleBackgroundWork();
+  }
+}
+
+void DBImpl::BackgroundCompactionUdc(Compaction* c) {
+  assert(c != nullptr);
+  CompactionState* compact = new CompactionState(c);
+  Status status = DoCompactionWork(compact);
+  if (!status.ok()) {
+    RecordBackgroundError(status);
+  }
+  CleanupCompaction(compact);
+  c->ReleaseInputs();
+  delete c;
+  RemoveObsoleteFiles();
+}
+
+// ---------------------------------------------------------------------------
+// Tiered (lazy baseline, paper §I / §V)
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> DBImpl::PickTieredGroup(uint64_t* total_bytes) {
+  *total_bytes = 0;
+  std::vector<uint64_t> result;
+  std::vector<FileMetaData*> files = versions_->current()->files(0);
+  if (static_cast<int>(files.size()) < options_.fan_out) return result;
+  std::sort(files.begin(), files.end(),
+            [](const FileMetaData* a, const FileMetaData* b) {
+              return a->file_size < b->file_size;
+            });
+  // Find the smallest tier: a run of >= fan_out files whose sizes stay
+  // within ~3x of the run's smallest member (Cassandra-style buckets).
+  for (size_t start = 0; start + options_.fan_out <= files.size(); start++) {
+    const uint64_t base = files[start]->file_size;
+    size_t end = start;
+    while (end < files.size() && files[end]->file_size <= 3 * base + 4096) {
+      end++;
+    }
+    if (end - start >= static_cast<size_t>(options_.fan_out)) {
+      // Merge up to 2*fan_out files from this tier in one batch.
+      const size_t take =
+          std::min(end - start, static_cast<size_t>(2 * options_.fan_out));
+      for (size_t i = start; i < start + take; i++) {
+        result.push_back(files[i]->number);
+        *total_bytes += files[i]->file_size;
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
+  Version* base = versions_->current();
+  std::vector<const FileMetaData*> inputs;
+  std::set<uint64_t> wanted(file_numbers.begin(), file_numbers.end());
+  for (FileMetaData* f : base->files(0)) {
+    if (wanted.count(f->number)) inputs.push_back(f);
+  }
+  if (inputs.size() < 2) return Status::OK();
+
+  ReadOptions read_options;
+  read_options.verify_checksums = options_.paranoid_checks;
+  read_options.fill_cache = false;
+
+  std::vector<Iterator*> iters;
+  uint64_t input_bytes = 0;
+  for (const FileMetaData* f : inputs) {
+    iters.push_back(
+        table_cache_->NewIterator(read_options, f->number, f->file_size));
+    input_bytes += f->file_size;
+  }
+  Iterator* input = NewMergingIterator(&internal_comparator_, iters.data(),
+                                       static_cast<int>(iters.size()));
+
+  SequenceNumber smallest_snapshot;
+  if (snapshots_.empty()) {
+    smallest_snapshot = versions_->LastSequence();
+  } else {
+    smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+  // Tombstones can only be dropped when this merge covers every file in
+  // the store (tiered keeps everything in level 0).
+  bool covers_everything = inputs.size() == base->files(0).size();
+  for (int level = 1; level < versions_->NumLevels() && covers_everything;
+       level++) {
+    if (!base->files(level).empty()) covers_everything = false;
+  }
+
+  // One output file, deliberately uncut: tiered compaction trades large
+  // batches for fewer rewrites (that is what "lazy" means here).
+  FileMetaData out;
+  out.number = versions_->NewFileNumber();
+  pending_outputs_.insert(out.number);
+  WritableFile* outfile = nullptr;
+  Status status =
+      env_->NewWritableFile(TableFileName(dbname_, out.number), &outfile);
+  TableBuilder* builder =
+      status.ok() ? new TableBuilder(options_, outfile) : nullptr;
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  for (input->SeekToFirst(); input->Valid() && status.ok(); input->Next()) {
+    Slice key = input->key();
+    bool drop = false;
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(key, &ikey)) {
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key ||
+          internal_comparator_.user_comparator()->Compare(
+              ikey.user_key, Slice(current_user_key)) != 0) {
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+      if (last_sequence_for_key <= smallest_snapshot) {
+        drop = true;
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= smallest_snapshot && covers_everything) {
+        drop = true;
+      }
+      last_sequence_for_key = ikey.sequence;
+    }
+    if (!drop) {
+      if (builder->NumEntries() == 0) {
+        out.smallest.DecodeFrom(key);
+      }
+      out.largest.DecodeFrom(key);
+      builder->Add(key, input->value());
+    }
+  }
+  if (status.ok()) status = input->status();
+  delete input;
+
+  if (builder != nullptr) {
+    const uint64_t entries = builder->NumEntries();
+    if (status.ok() && entries > 0) {
+      status = builder->Finish();
+      out.file_size = builder->FileSize();
+    } else {
+      builder->Abandon();
+    }
+    delete builder;
+  }
+  if (outfile != nullptr) {
+    if (status.ok()) status = outfile->Sync();
+    if (status.ok()) status = outfile->Close();
+    delete outfile;
+  }
+
+  if (status.ok()) {
+    if (out.file_size > 0) {
+      table_cache_->WarmTable(out.number, out.file_size);
+    }
+    VersionEdit edit;
+    for (const FileMetaData* f : inputs) {
+      edit.RemoveFile(0, f->number);
+    }
+    if (out.file_size > 0) {
+      edit.AddFile(0, out.number, out.file_size, out.smallest, out.largest);
+    } else {
+      env_->RemoveFile(TableFileName(dbname_, out.number));
+    }
+    status = versions_->LogAndApply(&edit);
+    if (status.ok() && stats_ != nullptr) {
+      stats_->Record(kCompactions);
+      stats_->Record(kCompactionReadBytes, input_bytes);
+      stats_->Record(kCompactionWriteBytes, out.file_size);
+    }
+  }
+  pending_outputs_.erase(out.number);
+  if (status.ok()) {
+    RemoveObsoleteFiles();
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// LDC: link & merge (paper Algorithm 1)
+// ---------------------------------------------------------------------------
+
+void DBImpl::EnqueueLdcMerge(uint64_t lower_file_number) {
+  if (pending_merge_set_.insert(lower_file_number).second) {
+    pending_merges_.push_back(lower_file_number);
+  }
+}
+
+bool DBImpl::DoLdcLinkWork() {
+  bool changed = false;
+  const int threshold = EffectiveSliceThreshold();
+
+  // Frozen-space safety valve (§IV-J): if the frozen region has grown past
+  // the configured fraction of live data, force the most-linked lower file
+  // to merge even before it reaches T_s.
+  if (options_.frozen_space_limit_ratio > 0) {
+    const uint64_t frozen = versions_->registry()->TotalFrozenBytes();
+    const int64_t live = versions_->TotalLiveBytes();
+    if (live > 0 && frozen > static_cast<uint64_t>(
+                                 live * options_.frozen_space_limit_ratio)) {
+      int count = 0;
+      uint64_t lower = versions_->registry()->MostLinkedLowerFile(&count);
+      if (lower != 0) {
+        EnqueueLdcMerge(lower);
+      }
+    }
+  }
+
+  // Link until the tree is balanced. Linking is pure metadata, so it
+  // proceeds even while merge jobs are queued for the device — that is
+  // exactly how LDC keeps level 0 drained (and tail latency low) while the
+  // actual I/O happens in file-sized increments.
+  while (versions_->NeedsCompaction()) {
+    int level = -1;
+    FileMetaData* upper = nullptr;
+    uint64_t must_merge_lower = 0;
+    if (!versions_->PickLdcLinkTarget(&level, &upper, &must_merge_lower)) {
+      if (must_merge_lower != 0) {
+        EnqueueLdcMerge(must_merge_lower);
+      }
+      break;
+    }
+
+    LdcLinkPlan plan;
+    BuildLdcLinkPlan(versions_, table_cache_, *upper, level, &plan);
+
+    VersionEdit edit;
+    // Assign link sequence numbers (monotonic; they define read priority
+    // among slices of the same lower file).
+    for (LdcSlicePlan& slice : plan.slices) {
+      slice.link.link_seq = versions_->registry()->NextLinkSeq();
+    }
+    ApplyLinkPlanToEdit(plan, &edit);
+    edit.SetCompactPointer(level, upper->largest);
+
+    Status s = versions_->LogAndApply(&edit);
+    if (!s.ok()) {
+      RecordBackgroundError(s);
+      break;
+    }
+    changed = true;
+    if (stats_ != nullptr) {
+      if (plan.trivial_move) {
+        stats_->Record(kTrivialMoves);
+      } else {
+        stats_->Record(kLdcLinks);
+        stats_->Record(kLdcSlicesCreated, plan.slices.size());
+      }
+    }
+
+    // Merge trigger: a lower-level SSTable accumulated >= T_s slices
+    // (Algorithm 1, lines 8-9).
+    for (const LdcSlicePlan& slice : plan.slices) {
+      if (slice.resulting_link_count >= threshold) {
+        EnqueueLdcMerge(slice.lower_file_number);
+      }
+    }
+  }
+  return changed;
+}
+
+Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
+  // Locate the lower file in the current version.
+  Version* base = versions_->current();
+  int level = -1;
+  FileMetaData target;
+  for (int l = 0; l < versions_->NumLevels() && level < 0; l++) {
+    for (FileMetaData* f : base->files(l)) {
+      if (f->number == lower_file_number) {
+        level = l;
+        target = *f;
+        break;
+      }
+    }
+  }
+  if (level < 0) {
+    // The file is gone (stale trigger); nothing to merge.
+    return Status::OK();
+  }
+
+  const std::vector<SliceLinkMeta>* links =
+      versions_->registry()->Links(lower_file_number);
+  if (links == nullptr || links->empty()) {
+    return Status::OK();
+  }
+
+  ReadOptions read_options;
+  read_options.verify_checksums = options_.paranoid_checks;
+  read_options.fill_cache = false;
+
+  // Assemble the merge inputs: the lower file plus every linked slice,
+  // each slice restricted to its key range so only its blocks are read.
+  std::vector<Iterator*> inputs;
+  inputs.push_back(table_cache_->NewIterator(read_options, target.number,
+                                             target.file_size));
+  uint64_t slice_bytes = 0;
+  for (const SliceLinkMeta& link : *links) {
+    const FrozenFileMeta* frozen =
+        versions_->registry()->Frozen(link.frozen_file_number);
+    assert(frozen != nullptr);
+    if (frozen == nullptr) continue;
+    Iterator* raw = table_cache_->NewIterator(read_options, frozen->number,
+                                              frozen->file_size);
+    inputs.push_back(new BoundedIterator(&internal_comparator_, raw,
+                                         link.smallest, link.largest));
+    slice_bytes += link.estimated_bytes;
+  }
+  Iterator* input = NewMergingIterator(&internal_comparator_, inputs.data(),
+                                       static_cast<int>(inputs.size()));
+
+  SequenceNumber smallest_snapshot;
+  if (snapshots_.empty()) {
+    smallest_snapshot = versions_->LastSequence();
+  } else {
+    smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+
+  // Tombstones can be dropped only if no level below this one holds data.
+  bool is_bottom = true;
+  for (int l = level + 1; l < versions_->NumLevels(); l++) {
+    if (!base->files(l).empty()) {
+      is_bottom = false;
+      break;
+    }
+  }
+
+  // Merge loop (paper Algorithm 1, merge()): one newest visible version
+  // per key survives, subject to live snapshots.
+  VersionEdit edit;
+  std::vector<CompactionState::Output> outputs;
+  WritableFile* outfile = nullptr;
+  TableBuilder* builder = nullptr;
+  uint64_t total_output_bytes = 0;
+  Status status;
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  auto finish_output = [&]() {
+    if (builder == nullptr) return;
+    CompactionState::Output* out = &outputs.back();
+    out->file_size = 0;
+    const uint64_t entries = builder->NumEntries();
+    Status s = entries == 0 ? Status::OK() : builder->Finish();
+    if (entries == 0) builder->Abandon();
+    if (s.ok()) {
+      out->file_size = builder->FileSize();
+      total_output_bytes += out->file_size;
+    } else if (status.ok()) {
+      status = s;
+    }
+    delete builder;
+    builder = nullptr;
+    if (outfile != nullptr) {
+      Status fs = outfile->Sync();
+      if (fs.ok()) fs = outfile->Close();
+      if (!fs.ok() && status.ok()) status = fs;
+      delete outfile;
+      outfile = nullptr;
+    }
+    if (entries == 0 || out->file_size == 0) {
+      // Empty output: drop it.
+      env_->RemoveFile(TableFileName(dbname_, out->number));
+      pending_outputs_.erase(out->number);
+      outputs.pop_back();
+    } else {
+      // Merge outputs are freshly written: cache-warm on a real system.
+      table_cache_->WarmTable(out->number, out->file_size);
+    }
+  };
+
+  auto open_output = [&]() -> Status {
+    assert(builder == nullptr);
+    CompactionState::Output out;
+    out.number = versions_->NewFileNumber();
+    pending_outputs_.insert(out.number);
+    outputs.push_back(out);
+    std::string fname = TableFileName(dbname_, out.number);
+    Status s = env_->NewWritableFile(fname, &outfile);
+    if (s.ok()) {
+      builder = new TableBuilder(options_, outfile);
+    }
+    return s;
+  };
+
+  for (input->SeekToFirst(); input->Valid() && status.ok(); input->Next()) {
+    Slice key = input->key();
+
+    bool drop = false;
+    ParsedInternalKey ikey;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide error keys
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      const bool user_key_changed =
+          !has_current_user_key ||
+          internal_comparator_.user_comparator()->Compare(
+              ikey.user_key, Slice(current_user_key)) != 0;
+      if (user_key_changed) {
+        // First occurrence of this user key
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+        // Close the output file at user-key boundaries once it is big
+        // enough, so one user key never spans two files.
+        if (builder != nullptr &&
+            builder->FileSize() >= options_.max_file_size) {
+          finish_output();
+        }
+      }
+
+      if (last_sequence_for_key <= smallest_snapshot) {
+        // Hidden by a newer entry for same user key
+        drop = true;
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= smallest_snapshot && is_bottom) {
+        // This deletion marker is obsolete and there is no data below.
+        drop = true;
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      if (builder == nullptr) {
+        status = open_output();
+        if (!status.ok()) break;
+        outputs.back().smallest.DecodeFrom(key);
+      }
+      if (builder->NumEntries() == 0) {
+        outputs.back().smallest.DecodeFrom(key);
+      }
+      outputs.back().largest.DecodeFrom(key);
+      builder->Add(key, input->value());
+    }
+  }
+
+  if (status.ok()) {
+    status = input->status();
+  }
+  finish_output();
+  delete input;
+
+  if (status.ok()) {
+    // Build the edit: replace the lower file with the merged outputs at the
+    // same level, consume every link, and reclaim unreferenced frozen files
+    // (Algorithm 1, lines 17-22).
+    const std::vector<uint64_t> reclaimable =
+        versions_->registry()->FrozenReclaimableAfterConsume(
+            lower_file_number);
+    edit.RemoveFile(level, target.number);
+    for (const CompactionState::Output& out : outputs) {
+      edit.AddFile(level, out.number, out.file_size, out.smallest,
+                   out.largest);
+    }
+    edit.ConsumeLinks(lower_file_number);
+    for (uint64_t frozen_number : reclaimable) {
+      edit.RemoveFrozenFile(frozen_number);
+    }
+    status = versions_->LogAndApply(&edit);
+    if (status.ok() && stats_ != nullptr) {
+      stats_->Record(kLdcMerges);
+      stats_->Record(kCompactionReadBytes, target.file_size + slice_bytes);
+      stats_->Record(kCompactionWriteBytes, total_output_bytes);
+      stats_->Record(kLdcFrozenFilesReclaimed, reclaimable.size());
+    }
+  }
+
+  for (const CompactionState::Output& out : outputs) {
+    pending_outputs_.erase(out.number);
+  }
+  if (status.ok()) {
+    RemoveObsoleteFiles();
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// UDC: classic leveled compaction (DoCompactionWork)
+// ---------------------------------------------------------------------------
+
+void DBImpl::CleanupCompaction(CompactionState* compact) {
+  if (compact->builder != nullptr) {
+    // May happen if we get a shutdown call in the middle of compaction
+    compact->builder->Abandon();
+    delete compact->builder;
+  } else {
+    assert(compact->outfile == nullptr);
+  }
+  delete compact->outfile;
+  for (size_t i = 0; i < compact->outputs.size(); i++) {
+    const CompactionState::Output& out = compact->outputs[i];
+    pending_outputs_.erase(out.number);
+  }
+  delete compact;
+}
+
+Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
+  assert(compact != nullptr);
+  assert(compact->builder == nullptr);
+  uint64_t file_number = versions_->NewFileNumber();
+  pending_outputs_.insert(file_number);
+  CompactionState::Output out;
+  out.number = file_number;
+  out.smallest.Clear();
+  out.largest.Clear();
+  compact->outputs.push_back(out);
+
+  // Make the output file
+  std::string fname = TableFileName(dbname_, file_number);
+  Status s = env_->NewWritableFile(fname, &compact->outfile);
+  if (s.ok()) {
+    compact->builder = new TableBuilder(options_, compact->outfile);
+  }
+  return s;
+}
+
+Status DBImpl::FinishCompactionOutputFile(CompactionState* compact,
+                                          Iterator* input) {
+  assert(compact != nullptr);
+  assert(compact->outfile != nullptr);
+  assert(compact->builder != nullptr);
+
+  const uint64_t output_number = compact->current_output()->number;
+  assert(output_number != 0);
+
+  // Check for iterator errors
+  Status s = input->status();
+  const uint64_t current_entries = compact->builder->NumEntries();
+  if (s.ok()) {
+    s = compact->builder->Finish();
+  } else {
+    compact->builder->Abandon();
+  }
+  const uint64_t current_bytes = compact->builder->FileSize();
+  compact->current_output()->file_size = current_bytes;
+  compact->total_bytes += current_bytes;
+  delete compact->builder;
+  compact->builder = nullptr;
+
+  // Finish and check for file errors
+  if (s.ok()) {
+    s = compact->outfile->Sync();
+  }
+  if (s.ok()) {
+    s = compact->outfile->Close();
+  }
+  delete compact->outfile;
+  compact->outfile = nullptr;
+
+  if (s.ok() && current_entries > 0) {
+    // Verify that the table is usable
+    Iterator* iter = table_cache_->NewIterator(ReadOptions(), output_number,
+                                               current_bytes);
+    s = iter->status();
+    delete iter;
+    // Compaction wrote these pages through the page cache; model that by
+    // warming the block cache with the fresh output.
+    table_cache_->WarmTable(output_number, current_bytes);
+  }
+  return s;
+}
+
+Status DBImpl::InstallCompactionResults(CompactionState* compact) {
+  // Add compaction outputs
+  compact->compaction->AddInputDeletions(compact->compaction->edit());
+  const int level = compact->compaction->level();
+  for (size_t i = 0; i < compact->outputs.size(); i++) {
+    const CompactionState::Output& out = compact->outputs[i];
+    compact->compaction->edit()->AddFile(level + 1, out.number, out.file_size,
+                                         out.smallest, out.largest);
+  }
+  return versions_->LogAndApply(compact->compaction->edit());
+}
+
+Status DBImpl::DoCompactionWork(CompactionState* compact) {
+  assert(versions_->NumLevelFiles(compact->compaction->level()) > 0);
+  assert(compact->builder == nullptr);
+  assert(compact->outfile == nullptr);
+
+  if (snapshots_.empty()) {
+    compact->smallest_snapshot = versions_->LastSequence();
+  } else {
+    compact->smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+
+  Iterator* input = versions_->MakeInputIterator(compact->compaction);
+
+  input->SeekToFirst();
+  Status status;
+  ParsedInternalKey ikey;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  while (input->Valid()) {
+    Slice key = input->key();
+
+    // Handle key/value, add to state, etc.
+    bool drop = false;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Do not hide error keys
+      current_user_key.clear();
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      const bool user_key_changed =
+          !has_current_user_key ||
+          internal_comparator_.user_comparator()->Compare(
+              ikey.user_key, Slice(current_user_key)) != 0;
+      if (user_key_changed) {
+        // First occurrence of this user key
+        current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+        // Close output files only at user-key boundaries so one user key
+        // never spans two files (required by LDC's responsibility ranges
+        // and generally a cleaner invariant).
+        if (compact->builder != nullptr &&
+            compact->builder->FileSize() >=
+                compact->compaction->MaxOutputFileSize()) {
+          status = FinishCompactionOutputFile(compact, input);
+          if (!status.ok()) {
+            break;
+          }
+        }
+      }
+
+      if (last_sequence_for_key <= compact->smallest_snapshot) {
+        // Hidden by an newer entry for same user key
+        drop = true;  // (A)
+      } else if (ikey.type == kTypeDeletion &&
+                 ikey.sequence <= compact->smallest_snapshot &&
+                 compact->compaction->IsBaseLevelForKey(ikey.user_key)) {
+        // For this user key:
+        // (1) there is no data in higher levels
+        // (2) data in lower levels will have larger sequence numbers
+        // (3) data in layers that are being compacted here and have
+        //     smaller sequence numbers will be dropped in the next
+        //     few iterations of this loop (by rule (A) above).
+        // Therefore this deletion marker is obsolete and can be dropped.
+        drop = true;
+      }
+
+      last_sequence_for_key = ikey.sequence;
+    }
+
+    if (!drop) {
+      // Open output file if necessary
+      if (compact->builder == nullptr) {
+        status = OpenCompactionOutputFile(compact);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      if (compact->builder->NumEntries() == 0) {
+        compact->current_output()->smallest.DecodeFrom(key);
+      }
+      compact->current_output()->largest.DecodeFrom(key);
+      compact->builder->Add(key, input->value());
+    }
+
+    input->Next();
+  }
+
+  if (status.ok() && compact->builder != nullptr) {
+    status = FinishCompactionOutputFile(compact, input);
+  }
+  if (status.ok()) {
+    status = input->status();
+  }
+  delete input;
+  input = nullptr;
+
+  if (status.ok()) {
+    if (stats_ != nullptr) {
+      stats_->Record(kCompactions);
+      stats_->Record(kCompactionReadBytes,
+                     compact->compaction->TotalInputBytes());
+      stats_->Record(kCompactionWriteBytes, compact->total_bytes);
+    }
+    status = InstallCompactionResults(compact);
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Read / write paths
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct IterState {
+  Version* const version;
+  MemTable* const mem;
+  MemTable* const imm;
+
+  IterState(Version* version, MemTable* mem, MemTable* imm)
+      : version(version), mem(mem), imm(imm) {}
+};
+
+static void CleanupIteratorState(void* arg1, void* /*arg2*/) {
+  IterState* state = reinterpret_cast<IterState*>(arg1);
+  state->mem->Unref();
+  if (state->imm != nullptr) state->imm->Unref();
+  state->version->Unref();
+  delete state;
+}
+
+}  // anonymous namespace
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  mem_->Ref();
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm_->Ref();
+  }
+  versions_->current()->AddIterators(options, &list);
+  Iterator* internal_iter = NewMergingIterator(
+      &internal_comparator_, &list[0], static_cast<int>(list.size()));
+  versions_->current()->Ref();
+
+  IterState* cleanup =
+      new IterState(versions_->current(), mem_, imm_);
+  internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
+
+  return internal_iter;
+}
+
+Iterator* DBImpl::TEST_NewInternalIterator() {
+  SequenceNumber ignored;
+  return NewInternalIterator(ReadOptions(), &ignored);
+}
+
+int DBImpl::TEST_NumLevelFiles(int level) const {
+  return versions_->NumLevelFiles(level);
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  if (sim_ != nullptr) sim_->Pump();
+  const uint64_t start_us = NowMicros();
+  ObserveOp(false);
+
+  Status s;
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  {
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+
+  if (sim_ != nullptr) {
+    sim_->AdvanceMicros(kPointLookupCpuUs, SimActivity::kCpu);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordLatency(OpHistogram::kReadLatencyUs,
+                          static_cast<double>(NowMicros() - start_us));
+  }
+  return s;
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  if (sim_ != nullptr) sim_->Pump();
+  SequenceNumber latest_snapshot;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  return NewDBIterator(
+      internal_comparator_.user_comparator(), iter,
+      (options.snapshot != nullptr
+           ? static_cast<const SnapshotImpl*>(options.snapshot)
+                 ->sequence_number()
+           : latest_snapshot));
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+// Convenience methods
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  return DB::Put(o, key, val);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  return DB::Delete(options, key);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (sim_ != nullptr) sim_->Pump();
+  const uint64_t start_us = NowMicros();
+  ObserveOp(true);
+
+  Status status = MakeRoomForWrite(updates == nullptr);
+  uint64_t last_sequence = versions_->LastSequence();
+  if (status.ok() && updates != nullptr) {
+    WriteBatchInternal::SetSequence(updates, last_sequence + 1);
+    const int count = WriteBatchInternal::Count(updates);
+    last_sequence += count;
+
+    // Append to the WAL first, then apply to the memtable.
+    const Slice contents = WriteBatchInternal::Contents(updates);
+    status = log_->AddRecord(contents);
+    if (status.ok() && options.sync) {
+      status = logfile_->Sync();
+    }
+    if (status.ok()) {
+      status = WriteBatchInternal::InsertInto(updates, mem_);
+    }
+    versions_->SetLastSequence(last_sequence);
+
+    if (sim_ != nullptr) {
+      if (options.sync) {
+        sim_->ChargeForegroundWrite(contents.size(), SimActivity::kWal);
+      } else {
+        sim_->ChargeBufferedAppend(contents.size(), SimActivity::kWal);
+      }
+      sim_->AdvanceMicros(kMemTableInsertCpuUs * count, SimActivity::kCpu);
+    }
+    if (stats_ != nullptr) {
+      stats_->Record(kWalWriteBytes, contents.size());
+    }
+  }
+
+  if (stats_ != nullptr) {
+    stats_->RecordLatency(OpHistogram::kWriteLatencyUs,
+                          static_cast<double>(NowMicros() - start_us));
+  }
+  return status;
+}
+
+// REQUIRES: mem_ is not null
+Status DBImpl::MakeRoomForWrite(bool force) {
+  bool allow_delay = !force;
+  Status s;
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Yield previous error
+      s = bg_error_;
+      break;
+    } else if (allow_delay &&
+               options_.compaction_style != CompactionStyle::kTiered &&
+               versions_->NumLevelFiles(0) >= options_.l0_slowdown_trigger) {
+      // We are getting close to hitting a hard limit on the number of
+      // L0 files. Rather than delaying a single write by several
+      // seconds when we hit the hard limit, start delaying each
+      // individual write by 1ms to reduce latency variance.
+      if (sim_ != nullptr) {
+        sim_->AdvanceMicros(1000.0, SimActivity::kCpu);
+      }
+      if (stats_ != nullptr) stats_->Record(kSlowdownMicros, 1000);
+      allow_delay = false;  // Do not delay a single write more than once
+      MaybeScheduleCompaction();
+    } else if (!force &&
+               (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size)) {
+      // There is room in current memtable
+      break;
+    } else if (imm_ != nullptr) {
+      // We have filled up the current memtable, but the previous
+      // one is still being flushed, so we wait.
+      const uint64_t stall_start = NowMicros();
+      MaybeScheduleCompaction();
+      if (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) {
+        sim_->WaitForNextBackgroundJob();
+      } else if (sim_ == nullptr) {
+        // Without a simulator, background work runs synchronously, so an
+        // unflushed imm_ here means flushing failed.
+        if (imm_ != nullptr && bg_error_.ok()) {
+          s = Status::IOError("immutable memtable was not flushed");
+          break;
+        }
+      }
+      if (stats_ != nullptr) {
+        stats_->Record(kStallMicros, NowMicros() - stall_start);
+      }
+    } else if (options_.compaction_style != CompactionStyle::kTiered &&
+               versions_->NumLevelFiles(0) >= options_.l0_stop_trigger) {
+      // There are too many level-0 files.
+      const uint64_t stall_start = NowMicros();
+      MaybeScheduleCompaction();
+      if (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) {
+        sim_->WaitForNextBackgroundJob();
+      } else if (sim_ == nullptr) {
+        if (versions_->NumLevelFiles(0) >= options_.l0_stop_trigger &&
+            bg_error_.ok()) {
+          s = Status::IOError("level-0 files did not drain");
+          break;
+        }
+      }
+      if (stats_ != nullptr) {
+        stats_->Record(kStallMicros, NowMicros() - stall_start);
+      }
+    } else {
+      // Attempt to switch to a new memtable and trigger flush of old.
+      assert(versions_->PrevLogNumber() == 0);
+      uint64_t new_log_number = versions_->NewFileNumber();
+      WritableFile* lfile = nullptr;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        break;
+      }
+      delete log_;
+      delete logfile_;
+      logfile_ = lfile;
+      logfile_number_ = new_log_number;
+      log_ = new log::Writer(lfile);
+      imm_ = mem_;
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room
+      MaybeScheduleCompaction();
+    }
+  }
+  return s;
+}
+
+Status DBImpl::WaitForIdle() {
+  // Drain scheduled jobs and keep scheduling until the tree is balanced.
+  int spins = 0;
+  while (true) {
+    if (sim_ != nullptr) {
+      sim_->Drain();
+    }
+    MaybeScheduleCompaction();
+    const bool pending =
+        (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) ||
+        background_job_pending_ || imm_ != nullptr ||
+        !pending_merges_.empty();
+    if (!pending) break;
+    if (++spins > 1000000) {
+      return Status::IOError("WaitForIdle did not converge");
+    }
+  }
+  return bg_error_;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+
+  Slice in = property;
+  Slice prefix("ldc.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(strlen("num-files-at-level"));
+    uint64_t level;
+    bool ok = ConsumeDecimalNumber(&in, &level) && in.empty();
+    if (!ok || level >= static_cast<uint64_t>(versions_->NumLevels())) {
+      return false;
+    } else {
+      char buf[100];
+      std::snprintf(buf, sizeof(buf), "%d",
+                    versions_->NumLevelFiles(static_cast<int>(level)));
+      *value = buf;
+      return true;
+    }
+  } else if (in == "stats") {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "                               Compactions\n"
+                  "Level  Files Size(MB)\n"
+                  "--------------------\n");
+    value->append(buf);
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      int files = versions_->NumLevelFiles(level);
+      if (files > 0 || versions_->NumLevelBytes(level) > 0) {
+        std::snprintf(buf, sizeof(buf), "%3d %8d %8.2f\n", level, files,
+                      versions_->NumLevelBytes(level) / 1048576.0);
+        value->append(buf);
+      }
+    }
+    return true;
+  } else if (in == "sstables") {
+    *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == "frozen-bytes") {
+    *value = NumberToString(versions_->registry()->TotalFrozenBytes());
+    return true;
+  } else if (in == "frozen-files") {
+    *value = NumberToString(versions_->registry()->FrozenFileCount());
+    return true;
+  } else if (in == "total-bytes") {
+    *value = NumberToString(static_cast<uint64_t>(versions_->TotalLiveBytes()) +
+                            versions_->registry()->TotalFrozenBytes());
+    return true;
+  } else if (in == "slice-link-threshold") {
+    *value = NumberToString(EffectiveSliceThreshold());
+    return true;
+  } else if (in == "level-summary") {
+    *value = versions_->LevelSummary();
+    return true;
+  }
+
+  return false;
+}
+
+void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
+  // Approximate by summing whole files whose ranges fall inside; this is
+  // coarse but sufficient for the library's users (space accounting is
+  // done via the "ldc.total-bytes" property).
+  Version* v = versions_->current();
+  v->Ref();
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+  for (int i = 0; i < n; i++) {
+    uint64_t total = 0;
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      for (FileMetaData* f : v->files(level)) {
+        if (ucmp->Compare(f->largest.user_key(), range[i].start) < 0) continue;
+        if (ucmp->Compare(f->smallest.user_key(), range[i].limit) >= 0)
+          continue;
+        total += f->file_size;
+      }
+    }
+    sizes[i] = total;
+  }
+  v->Unref();
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  Version* base = versions_->current();
+  for (int level = 1; level < versions_->NumLevels(); level++) {
+    if (base->OverlapInLevel(level, begin, end)) {
+      max_level_with_files = level;
+    }
+  }
+  TEST_CompactMemTable();  // Flush memtable (ignores errors)
+  if (options_.compaction_style != CompactionStyle::kUdc) {
+    // Manual range compaction is a UDC concept; the other styles simply run
+    // their own background work until the tree settles.
+    WaitForIdle();
+    return;
+  }
+  for (int level = 0; level < max_level_with_files; level++) {
+    TEST_CompactRange(level, begin, end);
+  }
+}
+
+void DBImpl::TEST_CompactRange(int level, const Slice* begin,
+                               const Slice* end) {
+  assert(level >= 0);
+  assert(level + 1 < versions_->NumLevels());
+
+  InternalKey begin_storage, end_storage;
+  InternalKey* begin_key = nullptr;
+  InternalKey* end_key = nullptr;
+  if (begin != nullptr) {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    begin_key = &begin_storage;
+  }
+  if (end != nullptr) {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    end_key = &end_storage;
+  }
+
+  Compaction* c = versions_->CompactRange(level, begin_key, end_key);
+  if (c != nullptr) {
+    CompactionState* compact = new CompactionState(c);
+    Status status = DoCompactionWork(compact);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+    CleanupCompaction(compact);
+    c->ReleaseInputs();
+    delete c;
+    RemoveObsoleteFiles();
+  }
+}
+
+Status DBImpl::TEST_CompactMemTable() {
+  // nullptr batch means just wait for earlier writes to be done
+  Status s = Write(WriteOptions(), nullptr);
+  if (s.ok()) {
+    if (sim_ != nullptr) {
+      // Force the flush through the simulated device.
+      if (imm_ != nullptr) {
+        while (imm_ != nullptr && sim_->HasPendingBackgroundJobs()) {
+          sim_->WaitForNextBackgroundJob();
+        }
+      }
+    }
+    if (imm_ != nullptr && bg_error_.ok()) {
+      // Non-sim path: flush synchronously.
+      s = CompactMemTable();
+    }
+    if (!bg_error_.ok()) s = bg_error_;
+  }
+  return s;
+}
+
+DB::~DB() = default;
+
+Snapshot::~Snapshot() = default;
+
+Status DB::Put(const WriteOptions& opt, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(opt, &batch);
+}
+
+Status DB::Delete(const WriteOptions& opt, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(opt, &batch);
+}
+
+Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
+  *dbptr = nullptr;
+
+  DBImpl* impl = new DBImpl(options, dbname);
+  VersionEdit edit;
+  // Recover handles create_if_missing, error_if_exists
+  bool save_manifest = false;
+  Status s = impl->Recover(&edit, &save_manifest);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    WritableFile* lfile;
+    s = options.env->NewWritableFile(LogFileName(dbname, new_log_number),
+                                     &lfile);
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_ = lfile;
+      impl->logfile_number_ = new_log_number;
+      impl->log_ = new log::Writer(lfile);
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok() && save_manifest) {
+    edit.SetPrevLogNumber(0);  // No older logs needed after recovery.
+    edit.SetLogNumber(impl->logfile_number_);
+    s = impl->versions_->LogAndApply(&edit);
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    // LDC: merge triggers queued before the previous shutdown were only in
+    // memory; rebuild them from the recovered link state so lower files at
+    // or above T_s make progress without waiting for another link.
+    if (impl->options_.compaction_style == CompactionStyle::kLdc) {
+      const int threshold = impl->EffectiveSliceThreshold();
+      for (const auto& kvp : impl->versions_->registry()->all_links()) {
+        if (static_cast<int>(kvp.second.size()) >= threshold) {
+          impl->EnqueueLdcMerge(kvp.first);
+        }
+      }
+    }
+    impl->MaybeScheduleCompaction();
+  }
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env;
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist
+    return Status::OK();
+  }
+
+  FileLock* lock;
+  const std::string lockname = LockFileName(dbname);
+  result = env->LockFile(lockname, &lock);
+  if (result.ok()) {
+    uint64_t number;
+    FileType type;
+    for (size_t i = 0; i < filenames.size(); i++) {
+      if (ParseFileName(filenames[i], &number, &type) &&
+          type != kDBLockFile) {  // Lock file will be deleted at end
+        Status del = env->RemoveFile(dbname + "/" + filenames[i]);
+        if (result.ok() && !del.ok()) {
+          result = del;
+        }
+      }
+    }
+    env->UnlockFile(lock);  // Ignore error since state is already gone
+    env->RemoveFile(lockname);
+    env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  }
+  return result;
+}
+
+}  // namespace ldc

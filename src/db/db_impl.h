@@ -1,0 +1,200 @@
+#ifndef LDC_DB_DB_IMPL_H_
+#define LDC_DB_DB_IMPL_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "db/dbformat.h"
+#include "db/snapshot.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+
+namespace ldc {
+
+class Compaction;
+class MemTable;
+class SimContext;
+class Statistics;
+class TableCache;
+class Version;
+class VersionEdit;
+class VersionSet;
+
+namespace log {
+class Writer;
+}
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  ~DBImpl() override;
+
+  // Implementations of the DB interface.
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void GetApproximateSizes(const Range* range, int n, uint64_t* sizes) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status WaitForIdle() override;
+
+  // Extra methods (for testing and instrumentation).
+
+  // Compact any files in the named level that overlap [*begin,*end].
+  void TEST_CompactRange(int level, const Slice* begin, const Slice* end);
+
+  // Force current memtable contents to be flushed.
+  Status TEST_CompactMemTable();
+
+  // Return an internal iterator over the current state of the database.
+  // The keys of this iterator are internal keys (see dbformat.h).
+  // The returned iterator should be deleted when no longer needed.
+  Iterator* TEST_NewInternalIterator();
+
+  int TEST_NumLevelFiles(int level) const;
+  VersionSet* TEST_versions() { return versions_; }
+
+  // The currently effective SliceLink threshold T_s (reflects
+  // self-adaptation when Options::adaptive_slice_threshold is set).
+  int EffectiveSliceThreshold() const;
+
+ private:
+  friend class DB;
+  struct CompactionState;
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot);
+
+  Status NewDB();
+
+  // Recover the descriptor from persistent storage. May do a significant
+  // amount of work to recover recently logged updates.
+  Status Recover(VersionEdit* edit, bool* save_manifest);
+
+  // Delete any unneeded files and stale in-memory entries.
+  void RemoveObsoleteFiles();
+
+  Status RecoverLogFile(uint64_t log_number, bool last_log, bool* save_manifest,
+                        VersionEdit* edit, SequenceNumber* max_sequence);
+
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base);
+
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
+
+  // Flush the immutable memtable to a level-0 table and install the result.
+  Status CompactMemTable();
+
+  // --- Background-work orchestration -----------------------------------
+  // At most one background job (flush, UDC compaction, LDC merge) is
+  // outstanding at a time, mirroring LevelDB's single compaction thread.
+  // Under simulation the job is scheduled on the device timeline and its
+  // data work runs when the virtual clock passes its completion; without a
+  // simulator the job runs synchronously at the trigger point.
+
+  void MaybeScheduleCompaction();
+  // Schedules (or synchronously runs) one unit of background work.
+  // Returns true if a job was started.
+  bool ScheduleBackgroundWork();
+  void RunBackgroundJob(int job_kind, uint64_t arg);
+
+  // UDC: perform the picked compaction's data work and install it.
+  Status DoCompactionWork(CompactionState* compact);
+  Status OpenCompactionOutputFile(CompactionState* compact);
+  Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
+  Status InstallCompactionResults(CompactionState* compact);
+  void CleanupCompaction(CompactionState* compact);
+  void BackgroundCompactionUdc(Compaction* c);
+
+  // Tiered (lazy baseline): find a group of >= fan_out similarly-sized
+  // level-0 files; merge them into one bigger level-0 file.
+  std::vector<uint64_t> PickTieredGroup(uint64_t* total_bytes);
+  Status DoTieredMerge(const std::vector<uint64_t>& file_numbers);
+
+  // LDC: the two phases.
+  // Performs link operations (metadata only) until the tree no longer
+  // needs one or a merge gets queued; returns true if any metadata changed.
+  bool DoLdcLinkWork();
+  // Merge the given lower-level file with all its linked slices.
+  Status DoLdcMerge(uint64_t lower_file_number);
+  void EnqueueLdcMerge(uint64_t lower_file_number);
+
+  // Record one user operation for the adaptive-T_s controller (§III-B4).
+  void ObserveOp(bool is_write);
+
+  uint64_t NowMicros() const;
+  void RecordBackgroundError(const Status& s);
+
+  // Constant after construction.
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const InternalFilterPolicy internal_filter_policy_;
+  const Options options_;  // options_.comparator == &internal_comparator_
+  const bool owns_cache_;
+  const std::string dbname_;
+
+  TableCache* const table_cache_;
+
+  // Lock over the persistent DB state. Non-null iff successfully acquired.
+  FileLock* db_lock_;
+
+  MemTable* mem_;
+  MemTable* imm_;  // Memtable being flushed
+  WritableFile* logfile_;
+  uint64_t logfile_number_;
+  log::Writer* log_;
+
+  SnapshotList snapshots_;
+
+  // Set of table files to protect from deletion because they are
+  // part of ongoing compactions.
+  std::set<uint64_t> pending_outputs_;
+
+  // True while a background job is scheduled/ running.
+  bool background_job_pending_;
+  // Guard against re-entrant scheduling while executing background work.
+  bool in_background_work_;
+  // The UDC compaction whose job is currently scheduled (at most one).
+  Compaction* scheduled_udc_ = nullptr;
+
+  // LDC: lower files waiting for their merge, FIFO.
+  std::deque<uint64_t> pending_merges_;
+  std::set<uint64_t> pending_merge_set_;
+  // Tiered: the file group whose merge job is currently scheduled.
+  std::vector<uint64_t> scheduled_tier_group_;
+
+  // Adaptive-T_s controller state.
+  uint64_t window_writes_;
+  uint64_t window_reads_;
+  double smoothed_write_fraction_;
+
+  // Have we encountered a background error in paranoid mode?
+  Status bg_error_;
+
+  VersionSet* versions_;
+
+  SimContext* const sim_;
+  Statistics* const stats_;
+};
+
+// Sanitize db options. The caller should delete result.filter_policy if
+// it is not equal to src.filter_policy.
+Options SanitizeOptions(const std::string& db,
+                        const InternalKeyComparator* icmp,
+                        const InternalFilterPolicy* ipolicy,
+                        const Options& src);
+
+}  // namespace ldc
+
+#endif  // LDC_DB_DB_IMPL_H_

@@ -1,0 +1,19 @@
+#ifndef LDC_DB_DB_ITER_H_
+#define LDC_DB_DB_ITER_H_
+
+#include <cstdint>
+
+#include "db/dbformat.h"
+#include "ldc/db.h"
+
+namespace ldc {
+
+// Return a new iterator that converts internal keys (yielded by
+// "*internal_iter") that were live at the specified "sequence" number
+// into appropriate user keys.
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace ldc
+
+#endif  // LDC_DB_DB_ITER_H_

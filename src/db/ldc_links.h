@@ -1,0 +1,93 @@
+// In-memory registry of LDC metadata: the frozen region and the slice links
+// (paper §III). The registry is owned by the VersionSet; every mutation is
+// carried by a VersionEdit (and therefore persisted in the manifest), so
+// recovery rebuilds the exact link state.
+
+#ifndef LDC_DB_LDC_LINKS_H_
+#define LDC_DB_LDC_LINKS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "db/version_edit.h"
+
+namespace ldc {
+
+class LdcLinkRegistry {
+ public:
+  LdcLinkRegistry() = default;
+
+  LdcLinkRegistry(const LdcLinkRegistry&) = delete;
+  LdcLinkRegistry& operator=(const LdcLinkRegistry&) = delete;
+
+  // Returns the next link sequence number (monotonic, persisted implicitly
+  // through the SliceLinkMeta records).
+  uint64_t NextLinkSeq() { return next_link_seq_++; }
+
+  // Applies the LDC records of a version edit. Called by
+  // VersionSet::LogAndApply after the edit has been logged, and during
+  // manifest recovery.
+  void Apply(const VersionEdit& edit);
+
+  // True iff `lower_file_number` has at least one slice link attached.
+  bool HasLinks(uint64_t lower_file_number) const {
+    return links_.find(lower_file_number) != links_.end();
+  }
+
+  // Number of slices linked to `lower_file_number`.
+  int LinkCount(uint64_t lower_file_number) const;
+
+  // Sum of the estimated bytes of all slices linked to the file.
+  uint64_t LinkedBytes(uint64_t lower_file_number) const;
+
+  // The slices linked to `lower_file_number`, ordered newest link first
+  // (descending link_seq) — the read-priority order (paper §III-B3).
+  // Returns an empty vector when there are none.
+  std::vector<SliceLinkMeta> LinksNewestFirst(uint64_t lower_file_number) const;
+
+  // All links attached to `lower_file_number` in link order (oldest first),
+  // or nullptr.
+  const std::vector<SliceLinkMeta>* Links(uint64_t lower_file_number) const;
+
+  // Frozen-file lookup; nullptr if not frozen.
+  const FrozenFileMeta* Frozen(uint64_t number) const;
+
+  // The frozen files whose reference count would drop to zero if all links
+  // of `lower_file_number` were consumed. Used to fill
+  // VersionEdit::RemoveFrozenFile records when building a merge edit.
+  std::vector<uint64_t> FrozenReclaimableAfterConsume(
+      uint64_t lower_file_number) const;
+
+  // The lower file with the most slice links; returns 0 when no links
+  // exist. Used by the frozen-space safety valve.
+  uint64_t MostLinkedLowerFile(int* link_count) const;
+
+  // Accounting (paper §IV-J space overhead).
+  uint64_t TotalFrozenBytes() const;
+  size_t FrozenFileCount() const { return frozen_.size(); }
+  size_t LinkedLowerFileCount() const { return links_.size(); }
+
+  // Adds every frozen file number to *live (they must not be deleted from
+  // disk while in the frozen region).
+  void AddLiveFiles(std::set<uint64_t>* live) const;
+
+  const std::map<uint64_t, std::vector<SliceLinkMeta>>& all_links() const {
+    return links_;
+  }
+  const std::map<uint64_t, FrozenFileMeta>& all_frozen() const {
+    return frozen_;
+  }
+
+ private:
+  // lower file number -> links in link order (ascending link_seq).
+  std::map<uint64_t, std::vector<SliceLinkMeta>> links_;
+  // frozen file number -> metadata (refs == outstanding links).
+  std::map<uint64_t, FrozenFileMeta> frozen_;
+  uint64_t next_link_seq_ = 1;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_DB_LDC_LINKS_H_

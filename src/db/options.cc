@@ -1,0 +1,10 @@
+#include "ldc/options.h"
+
+#include "ldc/comparator.h"
+#include "ldc/env.h"
+
+namespace ldc {
+
+Options::Options() : comparator(BytewiseComparator()), env(Env::Default()) {}
+
+}  // namespace ldc

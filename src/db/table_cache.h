@@ -1,0 +1,62 @@
+// Thread-safe (provides internal synchronization)
+
+#ifndef LDC_DB_TABLE_CACHE_H_
+#define LDC_DB_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/dbformat.h"
+#include "ldc/cache.h"
+#include "table/table.h"
+
+namespace ldc {
+
+class Env;
+
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options, int entries);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  ~TableCache();
+
+  // Return an iterator for the specified file number (the corresponding
+  // file length must be exactly "file_size" bytes). If "tableptr" is
+  // non-null, also sets "*tableptr" to point to the Table object
+  // underlying the returned iterator, or to nullptr if no Table object
+  // underlies the returned iterator. The returned "*tableptr" object is owned
+  // by the cache and should not be deleted, and is valid for as long as the
+  // returned iterator is live.
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  // If a seek to internal key "k" in specified file finds an entry,
+  // call (*handle_result)(arg, found_key, found_value).
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& k, void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  // Evict any entry for the specified file number
+  void Evict(uint64_t file_number);
+
+  // Loads every data block of the file into the block cache. Called for
+  // freshly written tables: on a real system their pages are still in the
+  // OS page cache after the write, so immediate reads do not hit the
+  // device. No-op when there is no block cache.
+  void WarmTable(uint64_t file_number, uint64_t file_size);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle**);
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options& options_;
+  Cache* cache_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_DB_TABLE_CACHE_H_

@@ -1,0 +1,399 @@
+// A fully in-memory Env implementation. Deterministic: its clock is a
+// simple counter. Used by unit tests and by the SSD-simulator benches
+// (where physical persistence is irrelevant and reproducibility matters).
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ldc/env.h"
+#include "ldc/status.h"
+
+namespace ldc {
+
+namespace {
+
+class FileState {
+ public:
+  FileState() : refs_(0), size_(0) {}
+
+  FileState(const FileState&) = delete;
+  FileState& operator=(const FileState&) = delete;
+
+  // Increase the reference count.
+  void Ref() {
+    std::lock_guard<std::mutex> l(refs_mutex_);
+    ++refs_;
+  }
+
+  // Decrease the reference count. Delete if this is the last reference.
+  void Unref() {
+    bool do_delete = false;
+    {
+      std::lock_guard<std::mutex> l(refs_mutex_);
+      --refs_;
+      assert(refs_ >= 0);
+      if (refs_ <= 0) {
+        do_delete = true;
+      }
+    }
+    if (do_delete) {
+      delete this;
+    }
+  }
+
+  uint64_t Size() const {
+    std::lock_guard<std::mutex> l(blocks_mutex_);
+    return size_;
+  }
+
+  void Truncate() {
+    std::lock_guard<std::mutex> l(blocks_mutex_);
+    for (char*& block : blocks_) {
+      delete[] block;
+    }
+    blocks_.clear();
+    size_ = 0;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const {
+    std::lock_guard<std::mutex> l(blocks_mutex_);
+    if (offset > size_) {
+      return Status::IOError("Offset greater than file size.");
+    }
+    const uint64_t available = size_ - offset;
+    if (n > available) {
+      n = static_cast<size_t>(available);
+    }
+    if (n == 0) {
+      *result = Slice();
+      return Status::OK();
+    }
+
+    assert(offset / kBlockSize <= std::numeric_limits<size_t>::max());
+    size_t block = static_cast<size_t>(offset / kBlockSize);
+    size_t block_offset = offset % kBlockSize;
+    size_t bytes_to_copy = n;
+    char* dst = scratch;
+
+    while (bytes_to_copy > 0) {
+      size_t avail = kBlockSize - block_offset;
+      if (avail > bytes_to_copy) {
+        avail = bytes_to_copy;
+      }
+      std::memcpy(dst, blocks_[block] + block_offset, avail);
+
+      bytes_to_copy -= avail;
+      dst += avail;
+      block++;
+      block_offset = 0;
+    }
+
+    *result = Slice(scratch, n);
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) {
+    const char* src = data.data();
+    size_t src_len = data.size();
+
+    std::lock_guard<std::mutex> l(blocks_mutex_);
+    while (src_len > 0) {
+      size_t avail;
+      size_t offset = size_ % kBlockSize;
+
+      if (offset != 0) {
+        // There is some room in the last block.
+        avail = kBlockSize - offset;
+      } else {
+        // No room in the last block; push new one.
+        blocks_.push_back(new char[kBlockSize]);
+        avail = kBlockSize;
+      }
+
+      if (avail > src_len) {
+        avail = src_len;
+      }
+      std::memcpy(blocks_.back() + offset, src, avail);
+      src_len -= avail;
+      src += avail;
+      size_ += avail;
+    }
+
+    return Status::OK();
+  }
+
+ private:
+  enum { kBlockSize = 8 * 1024 };
+
+  // Private since only Unref() should be used to delete it.
+  ~FileState() { Truncate(); }
+
+  std::mutex refs_mutex_;
+  int refs_;  // Protected by refs_mutex_;
+
+  mutable std::mutex blocks_mutex_;
+  std::vector<char*> blocks_;
+  uint64_t size_;
+};
+
+class SequentialFileImpl : public SequentialFile {
+ public:
+  explicit SequentialFileImpl(FileState* file) : file_(file), pos_(0) {
+    file_->Ref();
+  }
+
+  ~SequentialFileImpl() override { file_->Unref(); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = file_->Read(pos_, n, result, scratch);
+    if (s.ok()) {
+      pos_ += result->size();
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override {
+    if (pos_ > file_->Size()) {
+      return Status::IOError("pos_ > file_->Size()");
+    }
+    const uint64_t available = file_->Size() - pos_;
+    if (n > available) {
+      n = available;
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  FileState* file_;
+  uint64_t pos_;
+};
+
+class RandomAccessFileImpl : public RandomAccessFile {
+ public:
+  explicit RandomAccessFileImpl(FileState* file) : file_(file) { file_->Ref(); }
+
+  ~RandomAccessFileImpl() override { file_->Unref(); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    return file_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  FileState* file_;
+};
+
+class WritableFileImpl : public WritableFile {
+ public:
+  explicit WritableFileImpl(FileState* file) : file_(file) { file_->Ref(); }
+
+  ~WritableFileImpl() override { file_->Unref(); }
+
+  Status Append(const Slice& data) override { return file_->Append(data); }
+
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  FileState* file_;
+};
+
+class MemFileLock : public FileLock {
+ public:
+  explicit MemFileLock(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+};
+
+class InMemoryEnv : public Env {
+ public:
+  InMemoryEnv() : now_micros_(0) {}
+
+  ~InMemoryEnv() override {
+    for (const auto& kvp : file_map_) {
+      kvp.second->Unref();
+    }
+  }
+
+  // Partial implementation of the Env interface.
+  Status NewSequentialFile(const std::string& fname,
+                           SequentialFile** result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (file_map_.find(fname) == file_map_.end()) {
+      *result = nullptr;
+      return Status::NotFound(fname, "File not found");
+    }
+
+    *result = new SequentialFileImpl(file_map_[fname]);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             RandomAccessFile** result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (file_map_.find(fname) == file_map_.end()) {
+      *result = nullptr;
+      return Status::NotFound(fname, "File not found");
+    }
+
+    *result = new RandomAccessFileImpl(file_map_[fname]);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    FileSystem::iterator it = file_map_.find(fname);
+
+    FileState* file;
+    if (it == file_map_.end()) {
+      // File is not currently open.
+      file = new FileState();
+      file->Ref();
+      file_map_[fname] = file;
+    } else {
+      file = it->second;
+      file->Truncate();
+    }
+
+    *result = new WritableFileImpl(file);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           WritableFile** result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    FileState** sptr = &file_map_[fname];
+    FileState* file = *sptr;
+    if (file == nullptr) {
+      file = new FileState();
+      file->Ref();
+      *sptr = file;
+    }
+
+    *result = new WritableFileImpl(file);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    return file_map_.find(fname) != file_map_.end();
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    result->clear();
+
+    for (const auto& kvp : file_map_) {
+      const std::string& filename = kvp.first;
+
+      if (filename.size() >= dir.size() + 1 && filename[dir.size()] == '/' &&
+          Slice(filename).starts_with(Slice(dir))) {
+        result->push_back(filename.substr(dir.size() + 1));
+      }
+    }
+
+    return Status::OK();
+  }
+
+  void RemoveFileInternal(const std::string& fname) {
+    if (file_map_.find(fname) == file_map_.end()) {
+      return;
+    }
+
+    file_map_[fname]->Unref();
+    file_map_.erase(fname);
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (file_map_.find(fname) == file_map_.end()) {
+      return Status::NotFound(fname, "File not found");
+    }
+
+    RemoveFileInternal(fname);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& /*dirname*/) override {
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& /*dirname*/) override {
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (file_map_.find(fname) == file_map_.end()) {
+      return Status::NotFound(fname, "File not found");
+    }
+
+    *file_size = file_map_[fname]->Size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    if (file_map_.find(src) == file_map_.end()) {
+      return Status::NotFound(src, "File not found");
+    }
+
+    RemoveFileInternal(target);
+    file_map_[target] = file_map_[src];
+    file_map_.erase(src);
+    return Status::OK();
+  }
+
+  Status LockFile(const std::string& fname, FileLock** lock) override {
+    std::lock_guard<std::mutex> l(mutex_);
+    *lock = nullptr;
+    if (!locked_files_.insert(fname).second) {
+      return Status::IOError("lock " + fname, "already held");
+    }
+    *lock = new MemFileLock(fname);
+    return Status::OK();
+  }
+
+  Status UnlockFile(FileLock* lock) override {
+    MemFileLock* mem_lock = static_cast<MemFileLock*>(lock);
+    std::lock_guard<std::mutex> l(mutex_);
+    locked_files_.erase(mem_lock->name());
+    delete mem_lock;
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override {
+    // Deterministic: a counter that advances by one microsecond per call.
+    std::lock_guard<std::mutex> l(mutex_);
+    return ++now_micros_;
+  }
+
+ private:
+  // Map from filenames to FileState objects, representing a simple file
+  // system.
+  typedef std::map<std::string, FileState*> FileSystem;
+
+  std::mutex mutex_;
+  FileSystem file_map_;
+  std::set<std::string> locked_files_;
+  uint64_t now_micros_;
+};
+
+}  // namespace
+
+Env* NewMemEnv() { return new InMemoryEnv(); }
+
+}  // namespace ldc

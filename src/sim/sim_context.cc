@@ -1,0 +1,205 @@
+#include "ldc/sim.h"
+
+#include <cassert>
+#include <cstdio>
+#include <deque>
+
+namespace ldc {
+
+const char* SimActivityName(SimActivity activity) {
+  switch (activity) {
+    case SimActivity::kCompaction:
+      return "compaction";
+    case SimActivity::kFlush:
+      return "flush";
+    case SimActivity::kWal:
+      return "wal";
+    case SimActivity::kUserRead:
+      return "user-read";
+    case SimActivity::kCpu:
+      return "cpu";
+    default:
+      return "unknown";
+  }
+}
+
+struct SimContext::Job {
+  uint64_t completion_us;
+  SimActivity activity;
+  std::function<void()> apply;
+};
+
+struct SimContext::Impl {
+  // FIFO device timeline. Jobs run back to back; front completes first.
+  std::deque<Job> jobs;
+  uint64_t busy_until_us = 0;
+};
+
+SimContext::SimContext(const SsdModel& model)
+    : model_(model),
+      now_us_(0),
+      background_depth_(0),
+      impl_(new Impl),
+      total_bytes_written_(0),
+      total_bytes_read_(0) {
+  for (uint64_t& b : busy_us_) b = 0;
+}
+
+SimContext::~SimContext() { delete impl_; }
+
+void SimContext::AdvanceMicros(double micros, SimActivity activity) {
+  if (background_depth_ > 0) return;
+  if (micros <= 0) return;
+  now_us_ += static_cast<uint64_t>(micros + 0.5);
+  busy_us_[static_cast<int>(activity)] +=
+      static_cast<uint64_t>(micros + 0.5);
+  // Note: completed background jobs are applied by explicit Pump() calls at
+  // operation boundaries, never mid-operation, so an in-flight read never
+  // sees its sources garbage-collected underneath it.
+}
+
+void SimContext::ChargeForegroundRead(uint64_t bytes) {
+  if (background_depth_ > 0) return;
+  total_bytes_read_ += bytes;
+  double cost = model_.ReadCostMicros(bytes);
+  OccupyDevice(cost);
+  if (now_us_ < impl_->busy_until_us) {
+    cost *= model_.contention_factor;
+  }
+  AdvanceMicros(cost, SimActivity::kUserRead);
+}
+
+// Foreground I/O shares the device with background jobs: it consumes device
+// time, pushing every queued flush/compaction completion later (the
+// th_w^ssd - th_read coupling of the paper's equation (3)).
+void SimContext::OccupyDevice(double cost_us) {
+  if (impl_->busy_until_us > now_us_) {
+    const uint64_t delta = static_cast<uint64_t>(cost_us + 0.5);
+    impl_->busy_until_us += delta;
+    for (Job& job : impl_->jobs) {
+      job.completion_us += delta;
+    }
+  }
+}
+
+void SimContext::ChargeForegroundWrite(uint64_t bytes, SimActivity activity) {
+  if (background_depth_ > 0) return;
+  total_bytes_written_ += bytes;
+  double cost = model_.WriteCostMicros(bytes);
+  OccupyDevice(cost);
+  if (now_us_ < impl_->busy_until_us) {
+    cost *= model_.contention_factor;
+  }
+  AdvanceMicros(cost, activity);
+}
+
+void SimContext::ChargeBufferedAppend(uint64_t bytes, SimActivity activity) {
+  if (background_depth_ > 0) return;
+  total_bytes_written_ += bytes;
+  double cost =
+      model_.buffered_append_latency_us + bytes / model_.write_bandwidth_mbps;
+  OccupyDevice(cost);
+  if (now_us_ < impl_->busy_until_us) {
+    cost *= model_.contention_factor;
+  }
+  AdvanceMicros(cost, activity);
+}
+
+uint64_t SimContext::ScheduleBackground(uint64_t read_bytes,
+                                        uint64_t write_bytes,
+                                        SimActivity activity,
+                                        std::function<void()> apply) {
+  total_bytes_read_ += read_bytes;
+  total_bytes_written_ += write_bytes;
+  const double duration =
+      (read_bytes > 0 ? model_.ReadCostMicros(read_bytes) : 0.0) +
+      (write_bytes > 0 ? model_.WriteCostMicros(write_bytes) : 0.0);
+  const uint64_t start =
+      impl_->busy_until_us > now_us_ ? impl_->busy_until_us : now_us_;
+  const uint64_t completion = start + static_cast<uint64_t>(duration + 0.5);
+  impl_->busy_until_us = completion;
+  busy_us_[static_cast<int>(activity)] +=
+      static_cast<uint64_t>(duration + 0.5);
+  impl_->jobs.push_back(Job{completion, activity, std::move(apply)});
+  return completion;
+}
+
+void SimContext::ApplyJob(Job* job) {
+  BackgroundScope scope(this);
+  if (job->apply) job->apply();
+}
+
+void SimContext::Pump() {
+  while (!impl_->jobs.empty() &&
+         impl_->jobs.front().completion_us <= now_us_) {
+    Job job = std::move(impl_->jobs.front());
+    impl_->jobs.pop_front();
+    ApplyJob(&job);
+  }
+}
+
+bool SimContext::WaitForNextBackgroundJob() {
+  if (impl_->jobs.empty()) return false;
+  Job job = std::move(impl_->jobs.front());
+  impl_->jobs.pop_front();
+  if (job.completion_us > now_us_) {
+    now_us_ = job.completion_us;
+  }
+  ApplyJob(&job);
+  return true;
+}
+
+void SimContext::Drain() {
+  while (WaitForNextBackgroundJob()) {
+  }
+}
+
+bool SimContext::HasPendingBackgroundJobs() const {
+  return !impl_->jobs.empty();
+}
+
+uint64_t SimContext::DeviceBusyUntil() const {
+  return impl_->busy_until_us > now_us_ ? impl_->busy_until_us : now_us_;
+}
+
+SimContext::BackgroundScope::BackgroundScope(SimContext* sim) : sim_(sim) {
+  sim_->background_depth_++;
+}
+
+SimContext::BackgroundScope::~BackgroundScope() { sim_->background_depth_--; }
+
+uint64_t SimContext::BusyMicros(SimActivity activity) const {
+  return busy_us_[static_cast<int>(activity)];
+}
+
+double SimContext::EstimatedPeCyclesConsumed() const {
+  if (model_.capacity_bytes == 0) return 0;
+  return static_cast<double>(total_bytes_written_) /
+         static_cast<double>(model_.capacity_bytes);
+}
+
+double SimContext::EnduranceFractionUsed() const {
+  if (model_.pe_cycle_limit == 0) return 0;
+  return EstimatedPeCyclesConsumed() / model_.pe_cycle_limit;
+}
+
+std::string SimContext::ReportBreakdown() const {
+  uint64_t total = 0;
+  for (uint64_t b : busy_us_) total += b;
+  std::string result;
+  char buf[160];
+  snprintf(buf, sizeof(buf), "virtual time: %llu us, busy: %llu us\n",
+           static_cast<unsigned long long>(now_us_),
+           static_cast<unsigned long long>(total));
+  result.append(buf);
+  for (int i = 0; i < static_cast<int>(SimActivity::kActivityCount); i++) {
+    double pct = total == 0 ? 0.0 : 100.0 * busy_us_[i] / total;
+    snprintf(buf, sizeof(buf), "  %-12s : %12llu us  (%5.1f%%)\n",
+             SimActivityName(static_cast<SimActivity>(i)),
+             static_cast<unsigned long long>(busy_us_[i]), pct);
+    result.append(buf);
+  }
+  return result;
+}
+
+}  // namespace ldc

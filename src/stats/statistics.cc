@@ -1,0 +1,97 @@
+#include "ldc/statistics.h"
+
+#include <cstdio>
+
+#include "util/histogram.h"
+
+namespace ldc {
+
+namespace {
+
+const char* const kTickerNames[kTickerCount] = {
+    "compaction.read.bytes",
+    "compaction.write.bytes",
+    "flush.write.bytes",
+    "wal.write.bytes",
+    "user.read.bytes",
+    "block.reads",
+    "block.cache.hits",
+    "bloom.checks",
+    "bloom.useful",
+    "compactions",
+    "trivial.moves",
+    "flushes",
+    "ldc.links",
+    "ldc.slices.created",
+    "ldc.merges",
+    "ldc.frozen.reclaimed",
+    "gets",
+    "get.hits",
+    "slice.sources.checked",
+    "seeks",
+    "stall.micros",
+    "slowdown.micros",
+};
+
+const char* const kHistogramNames[static_cast<uint32_t>(
+    OpHistogram::kHistogramCount)] = {
+    "write.latency.us",
+    "read.latency.us",
+    "scan.latency.us",
+    "compaction.duration.us",
+};
+
+}  // namespace
+
+const char* TickerName(Ticker ticker) { return kTickerNames[ticker]; }
+
+const char* OpHistogramName(OpHistogram histogram) {
+  return kHistogramNames[static_cast<uint32_t>(histogram)];
+}
+
+Statistics::Statistics()
+    : histograms_(new Histogram[static_cast<uint32_t>(
+          OpHistogram::kHistogramCount)]) {
+  Reset();
+}
+
+Statistics::~Statistics() = default;
+
+void Statistics::RecordLatency(OpHistogram histogram, double micros) {
+  histograms_[static_cast<uint32_t>(histogram)].Add(micros);
+}
+
+const Histogram& Statistics::GetHistogram(OpHistogram histogram) const {
+  return histograms_[static_cast<uint32_t>(histogram)];
+}
+
+void Statistics::Reset() {
+  for (uint32_t i = 0; i < kTickerCount; i++) {
+    tickers_[i].store(0, std::memory_order_relaxed);
+  }
+  for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
+       i++) {
+    histograms_[i].Clear();
+  }
+}
+
+std::string Statistics::ToString() const {
+  std::string result;
+  char buf[200];
+  for (uint32_t i = 0; i < kTickerCount; i++) {
+    snprintf(buf, sizeof(buf), "%-28s : %llu\n", kTickerNames[i],
+             static_cast<unsigned long long>(
+                 tickers_[i].load(std::memory_order_relaxed)));
+    result.append(buf);
+  }
+  for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
+       i++) {
+    if (histograms_[i].Count() == 0) continue;
+    result.append(kHistogramNames[i]);
+    result.append(":\n");
+    result.append(histograms_[i].ToString());
+  }
+  return result;
+}
+
+}  // namespace ldc

@@ -1,0 +1,60 @@
+#ifndef LDC_TABLE_BLOCK_BUILDER_H_
+#define LDC_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldc/slice.h"
+
+namespace ldc {
+
+struct Options;
+
+// BlockBuilder generates blocks where keys are prefix-compressed:
+//
+// When we store a key, we drop the prefix shared with the previous
+// string. This helps reduce the space requirement significantly.
+// Furthermore, once every K keys, we do not apply the prefix
+// compression and store the entire key. We call this a "restart
+// point". The tail end of the block stores the offsets of all of the
+// restart points, and can be used to do a binary search when looking
+// for a particular key.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(const Options* options);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  // Reset the contents as if the BlockBuilder was just constructed.
+  void Reset();
+
+  // REQUIRES: Finish() has not been called since the last call to Reset().
+  // REQUIRES: key is larger than any previously added key
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building the block and return a slice that refers to the
+  // block contents. The returned slice will remain valid for the
+  // lifetime of this builder or until Reset() is called.
+  Slice Finish();
+
+  // Returns an estimate of the current (uncompressed) size of the block
+  // we are building.
+  size_t CurrentSizeEstimate() const;
+
+  // Return true iff no entries have been added since the last Reset()
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const Options* options_;
+  std::string buffer_;                // Destination buffer
+  std::vector<uint32_t> restarts_;    // Restart points
+  int counter_;                       // Number of entries emitted since restart
+  bool finished_;                     // Has Finish() been called?
+  std::string last_key_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_TABLE_BLOCK_BUILDER_H_

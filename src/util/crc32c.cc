@@ -1,0 +1,39 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace ldc {
+namespace crc32c {
+
+namespace {
+
+// CRC32C (Castagnoli) polynomial, reflected form.
+constexpr uint32_t kPolynomial = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace ldc

@@ -1,0 +1,15 @@
+// Simple hash function used for internal data structures.
+
+#ifndef LDC_UTIL_HASH_H_
+#define LDC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldc {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+}  // namespace ldc
+
+#endif  // LDC_UTIL_HASH_H_

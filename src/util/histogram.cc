@@ -1,0 +1,124 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/no_destructor.h"
+
+namespace ldc {
+
+// Buckets are exponential with ~4% resolution per decade: within each
+// power of ten there are 45 sub-steps, giving accurate high percentiles
+// without storing raw samples. The final bucket is unbounded.
+const std::vector<double>& Histogram::BucketLimits() {
+  static NoDestructor<std::vector<double>> limits([] {
+    std::vector<double> v;
+    double decade = 1.0;
+    // Covers [1, 1e14); values outside fall in the first/last bucket.
+    for (int d = 0; d < 14; d++) {
+      for (int step = 0; step < 45; step++) {
+        v.push_back(decade * std::pow(10.0, step / 45.0));
+      }
+      decade *= 10.0;
+    }
+    v.push_back(std::numeric_limits<double>::infinity());
+    return v;
+  }());
+  return *limits.get();
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(BucketLimits().size(), 0.0);
+}
+
+void Histogram::Add(double value) {
+  const std::vector<double>& limits = BucketLimits();
+  // Linear search would be too slow for per-op recording; binary search.
+  size_t b =
+      std::upper_bound(limits.begin(), limits.end(), value) - limits.begin();
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  buckets_[b] += 1.0;
+  if (min_ > value) min_ = value;
+  if (max_ < value) max_ = value;
+  num_++;
+  sum_ += value;
+  sum_squares_ += (value * value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0.0;
+  const std::vector<double>& limits = BucketLimits();
+  double threshold = num_ * (p / 100.0);
+  double sum = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    sum += buckets_[b];
+    if (sum >= threshold) {
+      // Scale linearly within this bucket.
+      double left_point = (b == 0) ? 0 : limits[b - 1];
+      double right_point = limits[b];
+      if (!std::isfinite(right_point)) right_point = max_;
+      double left_sum = sum - buckets_[b];
+      double right_sum = sum;
+      double pos = 0;
+      double right_left_diff = right_sum - left_sum;
+      if (right_left_diff != 0) {
+        pos = (threshold - left_sum) / right_left_diff;
+      }
+      double r = left_point + (right_point - left_point) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+double Histogram::Average() const {
+  if (num_ == 0) return 0;
+  return sum_ / num_;
+}
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) return 0;
+  double variance =
+      (sum_squares_ * num_ - sum_ * sum_) / (double(num_) * double(num_));
+  return std::sqrt(std::max(variance, 0.0));
+}
+
+std::string Histogram::ToString() const {
+  std::string r;
+  char buf[200];
+  snprintf(buf, sizeof(buf), "Count: %llu  Average: %.4f  StdDev: %.2f\n",
+           static_cast<unsigned long long>(num_), Average(),
+           StandardDeviation());
+  r.append(buf);
+  snprintf(buf, sizeof(buf),
+           "Min: %.4f  Median: %.4f  P90: %.2f  P99: %.2f  P99.9: %.2f  "
+           "P99.99: %.2f  Max: %.4f\n",
+           (num_ == 0 ? 0.0 : min_), Median(), Percentile(90), Percentile(99),
+           Percentile(99.9), Percentile(99.99), Max());
+  r.append(buf);
+  return r;
+}
+
+}  // namespace ldc

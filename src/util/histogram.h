@@ -1,0 +1,51 @@
+// A histogram of numeric samples (typically latencies in microseconds)
+// with fine-grained exponential bucketing, supporting the percentile
+// queries used by the paper's tail-latency figures (P90..P99.99).
+
+#ifndef LDC_UTIL_HISTOGRAM_H_
+#define LDC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldc {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  // Returns the value below which "p" percent of samples fall
+  // (p in [0, 100]). Linear interpolation within buckets.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return num_ == 0 ? 0 : min_; }
+  double Max() const { return num_ == 0 ? 0 : max_; }
+  uint64_t Count() const { return num_; }
+  double Sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  // Upper bounds of the exponential buckets, shared by all histograms.
+  static const std::vector<double>& BucketLimits();
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+
+  std::vector<double> buckets_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_UTIL_HISTOGRAM_H_

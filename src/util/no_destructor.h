@@ -1,0 +1,41 @@
+#ifndef LDC_UTIL_NO_DESTRUCTOR_H_
+#define LDC_UTIL_NO_DESTRUCTOR_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace ldc {
+
+// Wraps an instance whose destructor is never called.
+//
+// This is intended for use with function-level static variables: the style
+// guide forbids objects with static storage duration that have non-trivial
+// destructors.
+template <typename InstanceType>
+class NoDestructor {
+ public:
+  template <typename... ConstructorArgTypes>
+  explicit NoDestructor(ConstructorArgTypes&&... constructor_args) {
+    static_assert(sizeof(instance_storage_) >= sizeof(InstanceType),
+                  "instance_storage_ is not large enough to hold the instance");
+    new (&instance_storage_)
+        InstanceType(std::forward<ConstructorArgTypes>(constructor_args)...);
+  }
+
+  ~NoDestructor() = default;
+
+  NoDestructor(const NoDestructor&) = delete;
+  NoDestructor& operator=(const NoDestructor&) = delete;
+
+  InstanceType* get() {
+    return reinterpret_cast<InstanceType*>(&instance_storage_);
+  }
+
+ private:
+  alignas(InstanceType) char instance_storage_[sizeof(InstanceType)];
+};
+
+}  // namespace ldc
+
+#endif  // LDC_UTIL_NO_DESTRUCTOR_H_

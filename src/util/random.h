@@ -1,0 +1,61 @@
+// A simple 64-bit splitmix/xorshift random number generator with helpers
+// used by tests and workload generation. Deterministic for a given seed.
+
+#ifndef LDC_UTIL_RANDOM_H_
+#define LDC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ldc {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed) {
+    // Avoid the all-zero state.
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ull;
+    // Warm up.
+    Next64();
+    Next64();
+  }
+
+  // Returns a pseudo-random 64-bit value.
+  uint64_t Next64() {
+    // xorshift64*
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Returns a pseudo-random 32-bit value.
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Returns a uniformly distributed value in the range [0..n-1].
+  // REQUIRES: n > 0
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  // Randomly returns true ~"1/n" of the time, and false otherwise.
+  // REQUIRES: n > 0
+  bool OneIn(int n) { return Uniform(n) == 0; }
+
+  // "Skewed": pick "base" uniformly from range [0,max_log] and then
+  // return "base" random bits. The effect is to pick a number in the
+  // range [0,2^max_log-1] with exponential bias towards smaller numbers.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(max_log + 1));
+  }
+
+  // Returns a uniformly distributed double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_UTIL_RANDOM_H_

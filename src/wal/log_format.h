@@ -1,0 +1,33 @@
+// Log format information shared by reader and writer.
+// See ../../doc/log_format.md in LevelDB for the original description:
+// the log is a sequence of 32 KiB blocks; each record is prefixed by a
+// 7-byte header (crc32c, length, type) and may be fragmented across blocks.
+
+#ifndef LDC_WAL_LOG_FORMAT_H_
+#define LDC_WAL_LOG_FORMAT_H_
+
+namespace ldc {
+namespace log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+
+  kFullType = 1,
+
+  // For fragments.
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace ldc
+
+#endif  // LDC_WAL_LOG_FORMAT_H_

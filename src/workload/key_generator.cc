@@ -1,0 +1,41 @@
+#include "workload/key_generator.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace ldc {
+
+std::string MakeKey(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+bool ParseKey(const std::string& key, uint64_t* id) {
+  if (key.size() != 16 || key.compare(0, 4, "user") != 0) {
+    return false;
+  }
+  uint64_t result = 0;
+  for (size_t i = 4; i < 16; i++) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return false;
+    result = result * 10 + (c - '0');
+  }
+  *id = result;
+  return true;
+}
+
+void MakeValue(uint64_t id, uint64_t version, size_t size,
+               std::string* value) {
+  value->clear();
+  value->reserve(size);
+  Random rng(id * 0x9e3779b97f4a7c15ull + version + 1);
+  while (value->size() < size) {
+    // Printable bytes make debugging dumps readable.
+    value->push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+}
+
+}  // namespace ldc

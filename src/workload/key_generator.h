@@ -1,0 +1,26 @@
+// Key/value formatting for YCSB-style workloads: fixed-width 16-byte keys
+// (paper setup) and deterministic pseudo-random values of a configured size.
+
+#ifndef LDC_WORKLOAD_KEY_GENERATOR_H_
+#define LDC_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ldc {
+
+// Formats `id` as a fixed-width 16-byte key ("user" + 12 zero-padded decimal
+// digits), preserving numeric order under bytewise comparison.
+std::string MakeKey(uint64_t id);
+
+// Parses a key produced by MakeKey back into its id; returns false if the
+// key has a different shape.
+bool ParseKey(const std::string& key, uint64_t* id);
+
+// Fills *value with `size` deterministic pseudo-random bytes derived from
+// (id, version). Deterministic so tests can verify reads cheaply.
+void MakeValue(uint64_t id, uint64_t version, size_t size, std::string* value);
+
+}  // namespace ldc
+
+#endif  // LDC_WORKLOAD_KEY_GENERATOR_H_

@@ -1,0 +1,104 @@
+// YCSB-style workload specifications and a closed-loop driver (paper §IV-A,
+// Table III). A workload mixes random insertions with point lookups or
+// 100-key range scans under a uniform or Zipf key distribution.
+
+#ifndef LDC_WORKLOAD_WORKLOAD_H_
+#define LDC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ldc/status.h"
+
+namespace ldc {
+
+class DB;
+class SimContext;
+class Statistics;
+
+enum class QueryType {
+  kPointLookup = 0,  // GET
+  kRangeScan = 1,    // SCAN of scan_length keys
+};
+
+struct WorkloadSpec {
+  std::string name = "workload";
+  // Total operations (reads + writes).
+  uint64_t num_ops = 100000;
+  // Fraction of operations that are writes (Table III: WO=1.0, WH=0.7,
+  // RWB=0.5, RH=0.3, RO=0.0).
+  double write_fraction = 0.5;
+  QueryType query_type = QueryType::kPointLookup;
+  // Keys touched per range scan (the paper uses 100).
+  int scan_length = 100;
+  // Number of distinct keys.
+  uint64_t key_space = 200000;
+  // Zipf constant; 0 means uniform. Fig. 11 uses 1, 2 and 5.
+  double zipf_s = 0.0;
+  // Key/value sizes (paper: 16-byte keys, 1-KB values).
+  size_t value_size = 1024;
+  // Number of keys preloaded before the measured phase (gives reads
+  // something to find; 0 = no preload).
+  uint64_t preload_keys = 0;
+  uint64_t seed = 42;
+  // Bucket width of the per-interval latency timeline (Fig. 1).
+  uint64_t latency_sample_interval_us = 1000000;
+};
+
+// Construct the specs of Table III.
+WorkloadSpec MakeTableIIIWorkload(const std::string& name, uint64_t num_ops,
+                                  uint64_t key_space);
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t ops = 0;
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t scans = 0;
+  uint64_t hits = 0;  // point lookups that found a value
+  // Virtual (or wall) time consumed including trailing compaction debt.
+  uint64_t elapsed_micros = 0;
+  double throughput_ops_per_sec = 0;
+  Status status;
+};
+
+// Per-interval average-latency sample for Fig. 1 style timelines.
+struct LatencySample {
+  uint64_t second = 0;        // bucket index since workload start
+  double avg_write_us = 0;    // average write latency in that second
+  double avg_read_us = 0;     // average read latency in that second
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+};
+
+class WorkloadDriver {
+ public:
+  // `sim` may be null (wall-clock timing); `stats` may be null.
+  WorkloadDriver(DB* db, SimContext* sim, Statistics* stats);
+
+  // Inserts `spec.preload_keys` sequentially-chosen keys, then waits for the
+  // tree to settle. Run before the measured phase.
+  Status Preload(const WorkloadSpec& spec);
+
+  // Runs the measured phase: `spec.num_ops` operations in a closed loop.
+  WorkloadResult Run(const WorkloadSpec& spec);
+
+  // Per-second latency timeline of the last Run() (empty without a sim).
+  const std::vector<LatencySample>& latency_timeline() const {
+    return timeline_;
+  }
+
+ private:
+  uint64_t NowMicros() const;
+
+  DB* const db_;
+  SimContext* const sim_;
+  Statistics* const stats_;
+  std::vector<LatencySample> timeline_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#include "workload/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ldc {
+
+namespace {
+
+// 64-bit FNV-1a, used to scramble ranks over the key space (same idea as
+// YCSB's ScrambledZipfianGenerator).
+uint64_t Fnv1a64(uint64_t x) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (x >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s, uint64_t seed,
+                             bool scramble)
+    : n_(n), s_(s), scramble_(scramble), rng_(seed) {
+  assert(n_ > 0);
+  if (s_ > 0) {
+    // Exact CDF table. Workload key spaces in this repository are laptop
+    // scale (<= a few million keys), so O(n) doubles are acceptable.
+    cdf_.resize(n_);
+    double sum = 0;
+    for (uint64_t i = 0; i < n_; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+      cdf_[i] = sum;
+    }
+    const double inv = 1.0 / sum;
+    for (uint64_t i = 0; i < n_; i++) {
+      cdf_[i] *= inv;
+    }
+  }
+}
+
+uint64_t ZipfGenerator::SampleRank() {
+  if (s_ <= 0) {
+    return rng_.Uniform(n_);
+  }
+  const double u = rng_.NextDouble();
+  // Binary search for the first index with cdf >= u.
+  uint64_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t ZipfGenerator::Next() {
+  uint64_t rank = SampleRank();
+  if (scramble_ && s_ > 0) {
+    return Fnv1a64(rank) % n_;
+  }
+  return rank;
+}
+
+}  // namespace ldc

@@ -1,0 +1,44 @@
+// Zipf-distributed integer generator over [0, n). p(i) ∝ 1/(i+1)^s where
+// `s` is the Zipf constant the paper sweeps from 1 to 5 (Fig. 11); s == 0
+// degenerates to the uniform distribution.
+
+#ifndef LDC_WORKLOAD_ZIPF_H_
+#define LDC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ldc {
+
+class ZipfGenerator {
+ public:
+  // Creates a generator for `n` items with exponent `s` and the given seed.
+  // The rank-to-item mapping is scrambled with a bijective hash so that the
+  // popular items are spread over the whole key space (like YCSB's
+  // scrambled-zipfian), which matches how hot keys appear in practice.
+  ZipfGenerator(uint64_t n, double s, uint64_t seed, bool scramble = true);
+
+  // Returns the next sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t SampleRank();
+
+  const uint64_t n_;
+  const double s_;
+  const bool scramble_;
+  Random rng_;
+
+  // CDF table for small n; for large n we use a coarse table over buckets
+  // plus within-bucket sampling (see .cc).
+  std::vector<double> cdf_;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,169 @@
+#include "ldc/filter_policy.h"
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ldc/slice.h"
+#include "util/coding.h"
+
+namespace ldc {
+
+static const int kVerbose = 0;
+
+static Slice Key(int i, char* buffer) {
+  EncodeFixed32(buffer, i);
+  return Slice(buffer, sizeof(uint32_t));
+}
+
+class BloomTest : public testing::Test {
+ public:
+  BloomTest() : policy_(NewBloomFilterPolicy(10)) {}
+
+  ~BloomTest() override { delete policy_; }
+
+  void Reset() {
+    keys_.clear();
+    filter_.clear();
+  }
+
+  void Add(const Slice& s) { keys_.push_back(s.ToString()); }
+
+  void Build() {
+    std::vector<Slice> key_slices;
+    for (size_t i = 0; i < keys_.size(); i++) {
+      key_slices.push_back(Slice(keys_[i]));
+    }
+    filter_.clear();
+    policy_->CreateFilter(&key_slices[0], static_cast<int>(key_slices.size()),
+                          &filter_);
+    keys_.clear();
+  }
+
+  size_t FilterSize() const { return filter_.size(); }
+
+  bool Matches(const Slice& s) {
+    if (!keys_.empty()) {
+      Build();
+    }
+    return policy_->KeyMayMatch(s, filter_);
+  }
+
+  double FalsePositiveRate() {
+    char buffer[sizeof(int)];
+    int result = 0;
+    for (int i = 0; i < 10000; i++) {
+      if (Matches(Key(i + 1000000000, buffer))) {
+        result++;
+      }
+    }
+    return result / 10000.0;
+  }
+
+ private:
+  const FilterPolicy* policy_;
+  std::string filter_;
+  std::vector<std::string> keys_;
+};
+
+TEST_F(BloomTest, EmptyFilter) {
+  ASSERT_TRUE(!Matches("hello"));
+  ASSERT_TRUE(!Matches("world"));
+}
+
+TEST_F(BloomTest, Small) {
+  Add("hello");
+  Add("world");
+  ASSERT_TRUE(Matches("hello"));
+  ASSERT_TRUE(Matches("world"));
+  ASSERT_TRUE(!Matches("x"));
+  ASSERT_TRUE(!Matches("foo"));
+}
+
+static int NextLength(int length) {
+  if (length < 10) {
+    length += 1;
+  } else if (length < 100) {
+    length += 10;
+  } else if (length < 1000) {
+    length += 100;
+  } else {
+    length += 1000;
+  }
+  return length;
+}
+
+TEST_F(BloomTest, VaryingLengths) {
+  char buffer[sizeof(int)];
+
+  // Count number of filters that significantly exceed the false positive rate
+  int mediocre_filters = 0;
+  int good_filters = 0;
+
+  for (int length = 1; length <= 10000; length = NextLength(length)) {
+    Reset();
+    for (int i = 0; i < length; i++) {
+      Add(Key(i, buffer));
+    }
+    Build();
+
+    ASSERT_LE(FilterSize(), static_cast<size_t>(length * 10 / 8) + 40)
+        << length;
+
+    // All added keys must match
+    for (int i = 0; i < length; i++) {
+      ASSERT_TRUE(Matches(Key(i, buffer)))
+          << "Length " << length << "; key " << i;
+    }
+
+    // Check false positive rate
+    double rate = FalsePositiveRate();
+    if (kVerbose >= 1) {
+      std::fprintf(stderr,
+                   "False positives: %5.2f%% @ length = %6d ; bytes = %6d\n",
+                   rate * 100.0, length, static_cast<int>(FilterSize()));
+    }
+    ASSERT_LE(rate, 0.02);  // Must not be over 2%
+    if (rate > 0.0125)
+      mediocre_filters++;  // Allowed, but not too often
+    else
+      good_filters++;
+  }
+  if (kVerbose >= 1) {
+    std::fprintf(stderr, "Filters: %d good, %d mediocre\n", good_filters,
+                 mediocre_filters);
+  }
+  ASSERT_LE(mediocre_filters, good_filters / 5);
+}
+
+TEST(BloomSizing, MoreBitsLowerFalsePositiveRate) {
+  // Property from Fig. 13: growing bits/key reduces the false positive rate
+  // with diminishing returns.
+  char buffer[sizeof(int)];
+  double previous_rate = 1.0;
+  for (int bits : {2, 4, 8, 16}) {
+    std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(bits));
+    std::vector<std::string> storage;
+    std::vector<Slice> keys;
+    for (int i = 0; i < 2000; i++) {
+      storage.push_back(Key(i, buffer).ToString());
+    }
+    for (const std::string& k : storage) keys.push_back(Slice(k));
+    std::string filter;
+    policy->CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+
+    int false_positives = 0;
+    const int kProbes = 10000;
+    for (int i = 0; i < kProbes; i++) {
+      Slice probe = Key(i + 1000000000, buffer);
+      if (policy->KeyMayMatch(probe, filter)) false_positives++;
+    }
+    const double rate = static_cast<double>(false_positives) / kProbes;
+    EXPECT_LE(rate, previous_rate + 0.01) << bits << " bits/key";
+    previous_rate = rate;
+  }
+  // 16 bits/key should be well under 1%.
+  EXPECT_LT(previous_rate, 0.01);
+}
+
+}  // namespace ldc

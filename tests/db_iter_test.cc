@@ -1,0 +1,187 @@
+// Targeted tests of the user-facing iterator semantics (DBIter): version
+// collapsing, deletion hiding, snapshot pinning, direction switching.
+
+#include <map>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/write_batch.h"
+#include "workload/key_generator.h"
+
+namespace ldc {
+
+class DBIterTest : public testing::TestWithParam<CompactionStyle> {
+ protected:
+  DBIterTest() : env_(NewMemEnv()) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = GetParam();
+    options_.write_buffer_size = 8 * 1024;
+    options_.max_file_size = 8 * 1024;
+    options_.level1_max_bytes = 32 * 1024;
+    DestroyDB("/db", options_);
+    DB* raw = nullptr;
+    EXPECT_TRUE(DB::Open(options_, "/db", &raw).ok());
+    db_.reset(raw);
+  }
+
+  std::unique_ptr<Iterator> Iter() {
+    return std::unique_ptr<Iterator>(db_->NewIterator(ReadOptions()));
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBIterTest, EmptyDb) {
+  auto iter = Iter();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->SeekToLast();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("anything");
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_P(DBIterTest, OnlyNewestVersionVisible) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v2").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v3").ok());
+  auto iter = Iter();
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k", iter->key().ToString());
+  EXPECT_EQ("v3", iter->value().ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DBIterTest, DeletionsAreHidden) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b", "2").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "c", "3").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "b").ok());
+
+  auto iter = Iter();
+  std::string forward;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    forward += iter->key().ToString();
+  }
+  EXPECT_EQ("ac", forward);
+
+  std::string backward;
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev()) {
+    backward += iter->key().ToString();
+  }
+  EXPECT_EQ("ca", backward);
+}
+
+TEST_P(DBIterTest, SeekLandsOnNextVisibleKey) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "c", "3").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "e", "5").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "c").ok());
+
+  auto iter = Iter();
+  iter->Seek("b");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("e", iter->key().ToString());  // c is deleted.
+  iter->Seek("a");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", iter->key().ToString());
+  iter->Seek("f");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DBIterTest, DirectionSwitching) {
+  for (char c = 'a'; c <= 'e'; c++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), std::string(1, c), std::string(1, c)).ok());
+  }
+  auto iter = Iter();
+  iter->Seek("c");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("c", iter->key().ToString());
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("c", iter->key().ToString());
+  iter->Prev();
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", iter->key().ToString());
+  iter->Prev();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DBIterTest, SnapshotPinsIteratorView) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "old-a").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b", "old-b").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "new-a").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "b").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "c", "new-c").ok());
+
+  ReadOptions snap_options;
+  snap_options.snapshot = snap;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(snap_options));
+  std::string contents;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    contents += iter->key().ToString() + "=" + iter->value().ToString() + ";";
+  }
+  EXPECT_EQ("a=old-a;b=old-b;", contents);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(DBIterTest, IteratorSurvivesCompactionChurn) {
+  // Create an iterator, then churn the tree; the iterator's view must stay
+  // frozen at creation time even as files are merged and deleted.
+  std::map<std::string, std::string> expected;
+  std::string value;
+  for (int i = 0; i < 400; i++) {
+    MakeValue(i, 0, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), value).ok());
+    expected[MakeKey(i)] = value;
+  }
+  auto iter = Iter();
+
+  for (int i = 0; i < 2000; i++) {
+    MakeValue(i % 400, 1 + i, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i % 400), value).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  auto mit = expected.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_TRUE(mit != expected.end());
+    EXPECT_EQ(mit->first, iter->key().ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_TRUE(mit == expected.end());
+}
+
+TEST_P(DBIterTest, LargeValuesRoundtrip) {
+  std::string big(512 * 1024, 'x');
+  ASSERT_TRUE(db_->Put(WriteOptions(), "big", big).ok());
+  auto iter = Iter();
+  iter->Seek("big");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(big, iter->value().ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, DBIterTest,
+                         testing::Values(CompactionStyle::kUdc,
+                                         CompactionStyle::kLdc),
+                         [](const testing::TestParamInfo<CompactionStyle>& i) {
+                           return i.param == CompactionStyle::kUdc
+                                      ? std::string("Udc")
+                                      : std::string("Ldc");
+                         });
+
+}  // namespace ldc

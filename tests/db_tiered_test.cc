@@ -1,0 +1,170 @@
+// Tests of the size-tiered (lazy baseline) compaction style and of the
+// simulator's determinism guarantee.
+
+#include <map>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "db/db_impl.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "util/random.h"
+#include "workload/key_generator.h"
+#include "workload/workload.h"
+
+namespace ldc {
+
+class DBTieredTest : public testing::Test {
+ protected:
+  DBTieredTest() : env_(NewMemEnv()) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = CompactionStyle::kTiered;
+    options_.write_buffer_size = 16 * 1024;
+    options_.max_file_size = 16 * 1024;
+    options_.fan_out = 4;
+    options_.statistics = &stats_;
+    DestroyDB("/db", options_);
+    DB* raw = nullptr;
+    EXPECT_TRUE(DB::Open(options_, "/db", &raw).ok());
+    db_.reset(raw);
+  }
+
+  DBImpl* impl() { return static_cast<DBImpl*>(db_.get()); }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  Statistics stats_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTieredTest, AllDataStaysInLevelZero) {
+  Random rng(301);
+  std::string value;
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 6000; i++) {
+    const uint64_t id = rng.Uniform(1000);
+    MakeValue(id, i, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(id), value).ok());
+    model[MakeKey(id)] = value;
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  for (int level = 1; level < 7; level++) {
+    EXPECT_EQ(0, impl()->TEST_NumLevelFiles(level)) << "level " << level;
+  }
+  EXPECT_GT(impl()->TEST_NumLevelFiles(0), 0);
+  // Merges did happen (counted under the generic compactions ticker).
+  EXPECT_GT(stats_.Get(kCompactions), 0u);
+
+  for (const auto& kvp : model) {
+    std::string found;
+    ASSERT_TRUE(db_->Get(ReadOptions(), kvp.first, &found).ok()) << kvp.first;
+    EXPECT_EQ(kvp.second, found);
+  }
+}
+
+TEST_F(DBTieredTest, MergesBoundFileCount) {
+  std::string value(200, 'v');
+  for (int i = 0; i < 8000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i % 1500), value).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  // Without merging there would be ~100 flushed files; tiering keeps the
+  // count around fan_out per tier (a handful of tiers).
+  EXPECT_LT(impl()->TEST_NumLevelFiles(0), 4 * options_.fan_out);
+}
+
+TEST_F(DBTieredTest, LazyMovesFewerBytesThanLeveled) {
+  auto run = [this](CompactionStyle style) {
+    Options options = options_;
+    options.compaction_style = style;
+    Statistics stats;
+    options.statistics = &stats;
+    std::unique_ptr<Env> env(NewMemEnv());
+    options.env = env.get();
+    DB* raw = nullptr;
+    EXPECT_TRUE(DB::Open(options, "/tiercmp", &raw).ok());
+    std::unique_ptr<DB> db(raw);
+    Random rng(17);
+    std::string value;
+    for (int i = 0; i < 6000; i++) {
+      MakeValue(i, i, 150, &value);
+      EXPECT_TRUE(
+          db->Put(WriteOptions(), MakeKey(rng.Uniform(1200)), value).ok());
+    }
+    EXPECT_TRUE(db->WaitForIdle().ok());
+    return stats.Get(kCompactionReadBytes) + stats.Get(kCompactionWriteBytes);
+  };
+  const uint64_t tiered_bytes = run(CompactionStyle::kTiered);
+  const uint64_t leveled_bytes = run(CompactionStyle::kUdc);
+  EXPECT_LT(tiered_bytes, leveled_bytes);
+}
+
+TEST_F(DBTieredTest, DeletesWorkAcrossTiers) {
+  std::string value(100, 'v');
+  for (int k = 0; k < 800; k++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(k), value).ok());
+  }
+  for (int k = 0; k < 800; k += 2) {
+    ASSERT_TRUE(db_->Delete(WriteOptions(), MakeKey(k)).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  for (int k = 0; k < 800; k++) {
+    std::string found;
+    Status s = db_->Get(ReadOptions(), MakeKey(k), &found);
+    if (k % 2 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << k;
+    } else {
+      EXPECT_TRUE(s.ok()) << k;
+    }
+  }
+}
+
+// The simulator's core promise: identical inputs produce bit-identical
+// virtual timelines and counters, for every compaction style.
+TEST(SimDeterminism, RunsAreReproducible) {
+  for (CompactionStyle style :
+       {CompactionStyle::kUdc, CompactionStyle::kLdc,
+        CompactionStyle::kTiered}) {
+    uint64_t elapsed[2];
+    uint64_t io[2];
+    uint64_t written[2];
+    for (int round = 0; round < 2; round++) {
+      std::unique_ptr<Env> env(NewMemEnv());
+      SsdModel model;
+      SimContext sim(model);
+      Statistics stats;
+      Options options;
+      options.env = env.get();
+      options.create_if_missing = true;
+      options.compaction_style = style;
+      options.write_buffer_size = 16 * 1024;
+      options.max_file_size = 16 * 1024;
+      options.level1_max_bytes = 64 * 1024;
+      options.statistics = &stats;
+      options.sim = &sim;
+      DB* raw = nullptr;
+      ASSERT_TRUE(DB::Open(options, "/det", &raw).ok());
+      std::unique_ptr<DB> db(raw);
+
+      WorkloadSpec spec = MakeTableIIIWorkload("RWB", 3000, 3000);
+      spec.value_size = 128;
+      WorkloadDriver driver(db.get(), &sim, &stats);
+      ASSERT_TRUE(driver.Preload(spec).ok());
+      WorkloadResult result = driver.Run(spec);
+      ASSERT_TRUE(result.status.ok());
+      elapsed[round] = result.elapsed_micros;
+      io[round] = stats.Get(kCompactionReadBytes) +
+                  stats.Get(kCompactionWriteBytes);
+      written[round] = sim.TotalBytesWritten();
+    }
+    EXPECT_EQ(elapsed[0], elapsed[1]) << "style " << static_cast<int>(style);
+    EXPECT_EQ(io[0], io[1]) << "style " << static_cast<int>(style);
+    EXPECT_EQ(written[0], written[1]) << "style " << static_cast<int>(style);
+  }
+}
+
+}  // namespace ldc

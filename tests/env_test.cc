@@ -1,0 +1,179 @@
+// Tests for both Env implementations: the deterministic in-memory Env and
+// the POSIX Env.
+
+#include "ldc/env.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "gtest/gtest.h"
+
+namespace ldc {
+
+class EnvTest : public testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      env_owned_.reset(NewMemEnv());
+      env_ = env_owned_.get();
+      dir_ = "/envtest";
+    } else {
+      env_ = Env::Default();
+      char tmpl[] = "/tmp/ldc_env_test_XXXXXX";
+      char* dir = mkdtemp(tmpl);
+      ASSERT_NE(nullptr, dir);
+      dir_ = dir;
+    }
+    env_->CreateDir(dir_);
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup for the posix variant.
+    std::vector<std::string> children;
+    if (env_->GetChildren(dir_, &children).ok()) {
+      for (const std::string& child : children) {
+        env_->RemoveFile(dir_ + "/" + child);
+      }
+    }
+    env_->RemoveDir(dir_);
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::unique_ptr<Env> env_owned_;
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, ReadWriteRoundtrip) {
+  const std::string fname = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, "hello world", fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  EXPECT_EQ("hello world", data);
+
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(11u, size);
+}
+
+TEST_P(EnvTest, MissingFile) {
+  SequentialFile* f = nullptr;
+  Status s = env_->NewSequentialFile(Path("nope"), &f);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_EQ(nullptr, f);
+  EXPECT_FALSE(env_->FileExists(Path("nope")));
+  uint64_t size;
+  EXPECT_FALSE(env_->GetFileSize(Path("nope"), &size).ok());
+  EXPECT_FALSE(env_->RemoveFile(Path("nope")).ok());
+}
+
+TEST_P(EnvTest, AppendAccumulates) {
+  const std::string fname = Path("f");
+  WritableFile* file = nullptr;
+  ASSERT_TRUE(env_->NewWritableFile(fname, &file).ok());
+  ASSERT_TRUE(file->Append("abc").ok());
+  ASSERT_TRUE(file->Append("def").ok());
+  ASSERT_TRUE(file->Flush().ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  delete file;
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  EXPECT_EQ("abcdef", data);
+}
+
+TEST_P(EnvTest, NewWritableTruncates) {
+  const std::string fname = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, "long old content", fname).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "new", fname).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  EXPECT_EQ("new", data);
+}
+
+TEST_P(EnvTest, AppendableFile) {
+  const std::string fname = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, "start-", fname).ok());
+  WritableFile* file = nullptr;
+  ASSERT_TRUE(env_->NewAppendableFile(fname, &file).ok());
+  ASSERT_TRUE(file->Append("end").ok());
+  ASSERT_TRUE(file->Close().ok());
+  delete file;
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, fname, &data).ok());
+  EXPECT_EQ("start-end", data);
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  const std::string fname = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", fname).ok());
+  RandomAccessFile* file = nullptr;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &file).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ("3456", result.ToString());
+  ASSERT_TRUE(file->Read(8, 10, &result, scratch).ok());
+  EXPECT_EQ("89", result.ToString());
+  delete file;
+}
+
+TEST_P(EnvTest, SequentialReadAndSkip) {
+  const std::string fname = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", fname).ok());
+  SequentialFile* file = nullptr;
+  ASSERT_TRUE(env_->NewSequentialFile(fname, &file).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ("012", result.ToString());
+  ASSERT_TRUE(file->Skip(4).ok());
+  ASSERT_TRUE(file->Read(10, &result, scratch).ok());
+  EXPECT_EQ("789", result.ToString());
+  delete file;
+}
+
+TEST_P(EnvTest, RenameFile) {
+  ASSERT_TRUE(WriteStringToFile(env_, "data", Path("a")).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+  EXPECT_TRUE(env_->FileExists(Path("b")));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("b"), &data).ok());
+  EXPECT_EQ("data", data);
+}
+
+TEST_P(EnvTest, GetChildren) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", Path("one")).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", Path("two")).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  int found = 0;
+  for (const std::string& child : children) {
+    if (child == "one" || child == "two") found++;
+  }
+  EXPECT_EQ(2, found);
+}
+
+TEST_P(EnvTest, LockFile) {
+  FileLock* lock = nullptr;
+  ASSERT_TRUE(env_->LockFile(Path("LOCK"), &lock).ok());
+  ASSERT_NE(nullptr, lock);
+  ASSERT_TRUE(env_->UnlockFile(lock).ok());
+}
+
+TEST_P(EnvTest, NowMicrosMonotonic) {
+  uint64_t a = env_->NowMicros();
+  uint64_t b = env_->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvTest, testing::Values(true, false),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("Mem")
+                                             : std::string("Posix");
+                         });
+
+}  // namespace ldc

@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace ldc {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Average());
+  EXPECT_EQ(0.0, h.Percentile(99));
+  EXPECT_EQ(0.0, h.Min());
+  EXPECT_EQ(0.0, h.Max());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_NEAR(42.0, h.Percentile(50), 42.0 * 0.06);
+  EXPECT_DOUBLE_EQ(42.0, h.Min());
+  EXPECT_DOUBLE_EQ(42.0, h.Max());
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(100u, h.Count());
+  EXPECT_DOUBLE_EQ(50.5, h.Average());
+  EXPECT_DOUBLE_EQ(1.0, h.Min());
+  EXPECT_DOUBLE_EQ(100.0, h.Max());
+  EXPECT_DOUBLE_EQ(5050.0, h.Sum());
+}
+
+TEST(Histogram, PercentileAccuracy) {
+  // Exponential buckets have ~5% relative resolution; uniform data over
+  // [1, 10000] should give percentiles within that tolerance.
+  Histogram h;
+  Random rng(301);
+  for (int i = 0; i < 200000; i++) {
+    h.Add(1 + rng.Uniform(10000));
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double expected = p / 100.0 * 10000;
+    EXPECT_NEAR(expected, h.Percentile(p), expected * 0.08) << "P" << p;
+  }
+}
+
+TEST(Histogram, TailPercentiles) {
+  // A bimodal distribution: 99.9% fast ops at ~10, 0.1% slow at ~5000.
+  Histogram h;
+  for (int i = 0; i < 100000; i++) {
+    h.Add(i % 1000 == 0 ? 5000.0 : 10.0);
+  }
+  EXPECT_NEAR(10.0, h.Percentile(99), 1.5);
+  EXPECT_NEAR(5000.0, h.Percentile(99.95), 5000 * 0.1);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; i++) a.Add(10.0);
+  for (int i = 0; i < 1000; i++) b.Add(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(2000u, a.Count());
+  EXPECT_DOUBLE_EQ(505.0, a.Average());
+  EXPECT_DOUBLE_EQ(10.0, a.Min());
+  EXPECT_DOUBLE_EQ(1000.0, a.Max());
+  EXPECT_NEAR(10.0, a.Percentile(25), 1.0);
+  EXPECT_NEAR(1000.0, a.Percentile(75), 100.0);
+}
+
+TEST(Histogram, Clear) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Average());
+}
+
+TEST(Histogram, StandardDeviation) {
+  Histogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Add(i % 2 == 0 ? 0.0 : 100.0);
+  }
+  EXPECT_NEAR(50.0, h.StandardDeviation(), 0.5);
+}
+
+TEST(Histogram, ToStringContainsStats) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  std::string s = h.ToString();
+  EXPECT_NE(std::string::npos, s.find("Count: 2"));
+  EXPECT_NE(std::string::npos, s.find("P99"));
+}
+
+}  // namespace ldc

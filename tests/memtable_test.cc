@@ -1,0 +1,104 @@
+#include "memtbl/memtable.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "db/dbformat.h"
+#include "ldc/comparator.h"
+#include "ldc/iterator.h"
+
+namespace ldc {
+
+class MemTableTest : public testing::Test {
+ protected:
+  MemTableTest() : cmp_(BytewiseComparator()), mem_(new MemTable(cmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  std::string Get(const std::string& key, SequenceNumber seq = 100) {
+    LookupKey lkey(key, seq);
+    std::string value;
+    Status s;
+    if (!mem_->Get(lkey, &value, &s)) return "MISSING";
+    if (s.IsNotFound()) return "DELETED";
+    if (!s.ok()) return "ERROR";
+    return value;
+  }
+
+  InternalKeyComparator cmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, Empty) { EXPECT_EQ("MISSING", Get("k")); }
+
+TEST_F(MemTableTest, AddGet) {
+  mem_->Add(1, kTypeValue, "key1", "value1");
+  mem_->Add(2, kTypeValue, "key2", "value2");
+  EXPECT_EQ("value1", Get("key1"));
+  EXPECT_EQ("value2", Get("key2"));
+  EXPECT_EQ("MISSING", Get("key3"));
+}
+
+TEST_F(MemTableTest, NewestVersionWins) {
+  mem_->Add(1, kTypeValue, "key", "v1");
+  mem_->Add(2, kTypeValue, "key", "v2");
+  mem_->Add(3, kTypeValue, "key", "v3");
+  EXPECT_EQ("v3", Get("key"));
+}
+
+TEST_F(MemTableTest, SnapshotReadsOldVersion) {
+  mem_->Add(1, kTypeValue, "key", "v1");
+  mem_->Add(5, kTypeValue, "key", "v5");
+  EXPECT_EQ("v1", Get("key", 3));
+  EXPECT_EQ("v5", Get("key", 10));
+  EXPECT_EQ("MISSING", Get("key", 0));
+}
+
+TEST_F(MemTableTest, Deletion) {
+  mem_->Add(1, kTypeValue, "key", "v1");
+  mem_->Add(2, kTypeDeletion, "key", "");
+  EXPECT_EQ("DELETED", Get("key"));
+  EXPECT_EQ("v1", Get("key", 1));
+}
+
+TEST_F(MemTableTest, EmptyValueAllowed) {
+  mem_->Add(1, kTypeValue, "key", "");
+  EXPECT_EQ("", Get("key"));
+}
+
+TEST_F(MemTableTest, IterationIsSorted) {
+  mem_->Add(1, kTypeValue, "c", "3");
+  mem_->Add(2, kTypeValue, "a", "1");
+  mem_->Add(3, kTypeValue, "b", "2");
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+  std::string keys;
+  while (iter->Valid()) {
+    keys += ExtractUserKey(iter->key()).ToString();
+    iter->Next();
+  }
+  EXPECT_EQ("abc", keys);
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  mem_->Add(1, kTypeValue, "apple", "1");
+  mem_->Add(2, kTypeValue, "banana", "2");
+  mem_->Add(3, kTypeValue, "cherry", "3");
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  InternalKey target("b", kMaxSequenceNumber, kValueTypeForSeek);
+  iter->Seek(target.Encode());
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("banana", ExtractUserKey(iter->key()).ToString());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  const size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 100; i++) {
+    mem_->Add(i, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 100);
+}
+
+}  // namespace ldc

@@ -1,0 +1,134 @@
+// Regression tests for the *reproduction itself*: small, deterministic
+// simulator runs asserting the paper's headline claims directionally. If a
+// change to the engine or the cost model breaks the LDC-vs-UDC story, these
+// tests fail before anyone re-runs the full bench suite.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ldc/cache.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/filter_policy.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "util/histogram.h"
+#include "workload/workload.h"
+
+namespace ldc {
+
+namespace {
+
+struct RunOutput {
+  double throughput = 0;
+  uint64_t compaction_io = 0;
+  double p999_write_us = 0;
+  double max_write_us = 0;
+  uint64_t physical_writes = 0;
+  uint64_t stored_bytes = 0;
+};
+
+RunOutput RunSim(CompactionStyle style, const std::string& workload,
+                 uint64_t ops) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  SsdModel model;
+  SimContext sim(model);
+  Statistics stats;
+  std::unique_ptr<const FilterPolicy> filter(NewBloomFilterPolicy(10));
+  std::unique_ptr<Cache> cache(NewLRUCache(256 << 20));
+
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  options.compaction_style = style;
+  options.write_buffer_size = 32 * 1024;
+  options.max_file_size = 32 * 1024;
+  options.level1_max_bytes = 128 * 1024;
+  options.fan_out = 10;
+  options.max_open_files = 50000;
+  options.filter_policy = filter.get();
+  options.block_cache = cache.get();
+  options.statistics = &stats;
+  options.sim = &sim;
+
+  DB* raw = nullptr;
+  EXPECT_TRUE(DB::Open(options, "/repro", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  WorkloadSpec spec = MakeTableIIIWorkload(workload, ops, ops);
+  spec.value_size = 256;
+  WorkloadDriver driver(db.get(), &sim, &stats);
+  EXPECT_TRUE(driver.Preload(spec).ok());
+  stats.Reset();
+  WorkloadResult result = driver.Run(spec);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+
+  RunOutput out;
+  out.throughput = result.throughput_ops_per_sec;
+  out.compaction_io =
+      stats.Get(kCompactionReadBytes) + stats.Get(kCompactionWriteBytes);
+  const Histogram& writes = stats.GetHistogram(OpHistogram::kWriteLatencyUs);
+  out.p999_write_us = writes.Percentile(99.9);
+  out.max_write_us = writes.Max();
+  out.physical_writes = sim.TotalBytesWritten();
+  std::string value;
+  if (db->GetProperty("ldc.total-bytes", &value)) {
+    out.stored_bytes = strtoull(value.c_str(), nullptr, 10);
+  }
+  return out;
+}
+
+}  // namespace
+
+// Paper Fig. 10(c): LDC roughly halves compaction I/O.
+TEST(Reproduction, LdcHalvesCompactionIo) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "RWB", 20000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "RWB", 20000);
+  EXPECT_LT(ldc.compaction_io, 0.7 * udc.compaction_io)
+      << "LDC " << ldc.compaction_io << " vs UDC " << udc.compaction_io;
+}
+
+// Paper Fig. 10(a): LDC clearly out-throughputs UDC on write-heavy mixes.
+TEST(Reproduction, LdcBeatsUdcThroughputOnWrites) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "WH", 20000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "WH", 20000);
+  EXPECT_GT(ldc.throughput, 1.15 * udc.throughput)
+      << "LDC " << ldc.throughput << " vs UDC " << udc.throughput;
+}
+
+// Paper Fig. 8: LDC's write tail is far below UDC's.
+TEST(Reproduction, LdcShrinksWriteTail) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "RWB", 40000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "RWB", 40000);
+  EXPECT_LT(ldc.p999_write_us * 1.5, udc.p999_write_us)
+      << "LDC P99.9 " << ldc.p999_write_us << " vs UDC "
+      << udc.p999_write_us;
+  EXPECT_LT(ldc.max_write_us, udc.max_write_us);
+}
+
+// Paper §IV-D: halved compaction writes extend SSD lifetime.
+TEST(Reproduction, LdcWritesLessPhysically) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "WO", 20000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "WO", 20000);
+  EXPECT_LT(ldc.physical_writes, 0.8 * udc.physical_writes);
+}
+
+// Paper Fig. 15 + §III-D: the frozen region costs bounded extra space
+// (well under the 50% frozen worst case).
+TEST(Reproduction, LdcSpaceOverheadBounded) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "RWB", 20000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "RWB", 20000);
+  EXPECT_LT(ldc.stored_bytes, 1.5 * udc.stored_bytes)
+      << "LDC " << ldc.stored_bytes << " vs UDC " << udc.stored_bytes;
+}
+
+// Paper Fig. 10 (RO): read-only workloads tie (bloom filters absorb the
+// slice probes).
+TEST(Reproduction, ReadOnlyThroughputTies) {
+  RunOutput udc = RunSim(CompactionStyle::kUdc, "RO", 20000);
+  RunOutput ldc = RunSim(CompactionStyle::kLdc, "RO", 20000);
+  EXPECT_GT(ldc.throughput, 0.9 * udc.throughput);
+  EXPECT_LT(ldc.throughput, 1.1 * udc.throughput);
+}
+
+}  // namespace ldc

@@ -1,0 +1,170 @@
+// Tests of the SSD simulator substrate: cost model, virtual clock,
+// background job timeline, device sharing, and endurance accounting.
+
+#include "ldc/sim.h"
+
+#include "gtest/gtest.h"
+
+namespace ldc {
+
+namespace {
+
+SsdModel TestModel() {
+  SsdModel model;
+  model.read_bandwidth_mbps = 1000;  // 1 B/us per MB/s => 1000 B/us
+  model.write_bandwidth_mbps = 100;
+  model.read_latency_us = 10;
+  model.write_latency_us = 20;
+  model.buffered_append_latency_us = 1;
+  model.contention_factor = 2.0;
+  model.capacity_bytes = 1000000;
+  model.pe_cycle_limit = 100;
+  return model;
+}
+
+}  // namespace
+
+TEST(SsdModel, CostFormulas) {
+  SsdModel model = TestModel();
+  EXPECT_DOUBLE_EQ(10 + 1000.0 / 1000, model.ReadCostMicros(1000));
+  EXPECT_DOUBLE_EQ(20 + 1000.0 / 100, model.WriteCostMicros(1000));
+}
+
+TEST(SimContext, ClockStartsAtZero) {
+  SimContext sim(TestModel());
+  EXPECT_EQ(0u, sim.NowMicros());
+  EXPECT_FALSE(sim.HasPendingBackgroundJobs());
+}
+
+TEST(SimContext, AdvanceAccumulatesPerActivity) {
+  SimContext sim(TestModel());
+  sim.AdvanceMicros(100, SimActivity::kCpu);
+  sim.AdvanceMicros(50, SimActivity::kCpu);
+  sim.AdvanceMicros(25, SimActivity::kWal);
+  EXPECT_EQ(175u, sim.NowMicros());
+  EXPECT_EQ(150u, sim.BusyMicros(SimActivity::kCpu));
+  EXPECT_EQ(25u, sim.BusyMicros(SimActivity::kWal));
+}
+
+TEST(SimContext, ForegroundReadCost) {
+  SimContext sim(TestModel());
+  sim.ChargeForegroundRead(1000);  // 10 + 1 = 11us, no contention.
+  EXPECT_EQ(11u, sim.NowMicros());
+  EXPECT_EQ(1000u, sim.TotalBytesRead());
+}
+
+TEST(SimContext, BackgroundJobAppliesWhenReached) {
+  SimContext sim(TestModel());
+  bool applied = false;
+  const uint64_t completion = sim.ScheduleBackground(
+      0, 1000, SimActivity::kFlush, [&]() { applied = true; });
+  EXPECT_EQ(30u, completion);  // 20us latency + 10us transfer.
+  EXPECT_TRUE(sim.HasPendingBackgroundJobs());
+
+  sim.AdvanceMicros(10, SimActivity::kCpu);
+  sim.Pump();
+  EXPECT_FALSE(applied);  // Not yet complete.
+
+  sim.AdvanceMicros(25, SimActivity::kCpu);
+  sim.Pump();
+  EXPECT_TRUE(applied);
+  EXPECT_FALSE(sim.HasPendingBackgroundJobs());
+}
+
+TEST(SimContext, JobsRunFifoBackToBack) {
+  SimContext sim(TestModel());
+  std::vector<int> order;
+  uint64_t c1 = sim.ScheduleBackground(0, 1000, SimActivity::kFlush,
+                                       [&]() { order.push_back(1); });
+  uint64_t c2 = sim.ScheduleBackground(0, 1000, SimActivity::kCompaction,
+                                       [&]() { order.push_back(2); });
+  EXPECT_EQ(30u, c1);
+  EXPECT_EQ(60u, c2);  // Starts after the first completes.
+  sim.Drain();
+  EXPECT_EQ(60u, sim.NowMicros());
+  ASSERT_EQ(2u, order.size());
+  EXPECT_EQ(1, order[0]);
+  EXPECT_EQ(2, order[1]);
+}
+
+TEST(SimContext, WaitForNextBackgroundJobAdvancesClock) {
+  SimContext sim(TestModel());
+  bool applied = false;
+  sim.ScheduleBackground(0, 1000, SimActivity::kFlush,
+                         [&]() { applied = true; });
+  EXPECT_TRUE(sim.WaitForNextBackgroundJob());
+  EXPECT_TRUE(applied);
+  EXPECT_EQ(30u, sim.NowMicros());
+  EXPECT_FALSE(sim.WaitForNextBackgroundJob());
+}
+
+TEST(SimContext, ContentionInflatesForegroundCost) {
+  SimContext sim(TestModel());
+  sim.ScheduleBackground(0, 100000, SimActivity::kCompaction, nullptr);
+  ASSERT_GT(sim.DeviceBusyUntil(), sim.NowMicros());
+  const uint64_t before = sim.NowMicros();
+  sim.ChargeForegroundRead(1000);  // 11us * contention 2 = 22us.
+  EXPECT_EQ(before + 22, sim.NowMicros());
+}
+
+TEST(SimContext, ForegroundIoDelaysBackgroundJobs) {
+  SimContext sim(TestModel());
+  const uint64_t original_completion =
+      sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  sim.ChargeForegroundRead(1000);  // Pushes the queued job by 11us.
+  EXPECT_EQ(original_completion + 11, sim.DeviceBusyUntil());
+}
+
+TEST(SimContext, BufferedAppendIsCheap) {
+  SimContext sim(TestModel());
+  sim.ChargeBufferedAppend(100, SimActivity::kWal);
+  // 1us fixed + 1us bandwidth.
+  EXPECT_EQ(2u, sim.NowMicros());
+  EXPECT_EQ(100u, sim.TotalBytesWritten());
+}
+
+TEST(SimContext, BackgroundScopeSuppressesCharges) {
+  SimContext sim(TestModel());
+  {
+    SimContext::BackgroundScope scope(&sim);
+    EXPECT_TRUE(sim.in_background());
+    sim.ChargeForegroundRead(100000);
+    sim.AdvanceMicros(500, SimActivity::kCpu);
+  }
+  EXPECT_FALSE(sim.in_background());
+  EXPECT_EQ(0u, sim.NowMicros());
+}
+
+TEST(SimContext, EnduranceAccounting) {
+  SimContext sim(TestModel());
+  // Write one full device's worth of data => 1 P/E cycle.
+  sim.ScheduleBackground(0, 1000000, SimActivity::kCompaction, nullptr);
+  sim.Drain();
+  EXPECT_DOUBLE_EQ(1.0, sim.EstimatedPeCyclesConsumed());
+  EXPECT_DOUBLE_EQ(0.01, sim.EnduranceFractionUsed());  // 1 of 100 cycles.
+}
+
+TEST(SimContext, ReportBreakdownMentionsActivities) {
+  SimContext sim(TestModel());
+  sim.AdvanceMicros(5, SimActivity::kCpu);
+  std::string report = sim.ReportBreakdown();
+  EXPECT_NE(std::string::npos, report.find("cpu"));
+  EXPECT_NE(std::string::npos, report.find("compaction"));
+}
+
+TEST(SimContext, JobsChainedInsideApplyStartAfterParent) {
+  SimContext sim(TestModel());
+  std::vector<uint64_t> completions;
+  sim.ScheduleBackground(0, 1000, SimActivity::kFlush, [&]() {
+    completions.push_back(sim.NowMicros());
+    sim.ScheduleBackground(0, 1000, SimActivity::kCompaction, [&]() {
+      completions.push_back(sim.NowMicros());
+    });
+  });
+  sim.Drain();
+  ASSERT_EQ(2u, completions.size());
+  EXPECT_EQ(30u, completions[0]);
+  EXPECT_EQ(60u, completions[1]);
+}
+
+}  // namespace ldc

@@ -1,0 +1,206 @@
+// Tests for the foundation utilities: Slice, Status, logging helpers,
+// Random, and NoDestructor.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "ldc/slice.h"
+#include "ldc/status.h"
+#include "util/logging.h"
+#include "util/no_destructor.h"
+#include "util/random.h"
+
+namespace ldc {
+
+TEST(Slice, Empty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(0u, s.size());
+  EXPECT_EQ("", s.ToString());
+}
+
+TEST(Slice, FromString) {
+  std::string backing = "hello";
+  Slice s(backing);
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_EQ("hello", s.ToString());
+  EXPECT_EQ("hello", std::string(s.ToStringView()));
+}
+
+TEST(Slice, Compare) {
+  EXPECT_EQ(0, Slice("abc").compare(Slice("abc")));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+  // Byte-wise, unsigned comparison.
+  EXPECT_LT(Slice("a").compare(Slice("\xff")), 0);
+}
+
+TEST(Slice, Equality) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  EXPECT_TRUE(Slice("") == Slice(""));
+}
+
+TEST(Slice, StartsWith) {
+  EXPECT_TRUE(Slice("foobar").starts_with("foo"));
+  EXPECT_TRUE(Slice("foobar").starts_with(""));
+  EXPECT_FALSE(Slice("foobar").starts_with("bar"));
+  EXPECT_FALSE(Slice("fo").starts_with("foo"));
+}
+
+TEST(Slice, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ("cdef", s.ToString());
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Status, MoveConstructor) {
+  {
+    Status ok = Status::OK();
+    Status ok2 = std::move(ok);
+    ASSERT_TRUE(ok2.ok());
+  }
+  {
+    Status status = Status::NotFound("custom NotFound status message");
+    Status status2 = std::move(status);
+    ASSERT_TRUE(status2.IsNotFound());
+    ASSERT_EQ("NotFound: custom NotFound status message", status2.ToString());
+  }
+  {
+    Status self_moved = Status::IOError("custom IOError status message");
+    // Needed to bypass compiler warning about explicit move-assignment.
+    Status& self_moved_reference = self_moved;
+    self_moved_reference = std::move(self_moved);
+  }
+}
+
+TEST(Status, Codes) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(Status::NotFound("a").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("a").IsCorruption());
+  EXPECT_TRUE(Status::IOError("a").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("a").IsNotSupported());
+  EXPECT_TRUE(Status::InvalidArgument("a").IsInvalidArgument());
+  EXPECT_FALSE(Status::NotFound("a").ok());
+}
+
+TEST(Status, MessageConcatenation) {
+  Status s = Status::IOError("context", "detail");
+  EXPECT_EQ("IO error: context: detail", s.ToString());
+}
+
+TEST(Status, CopySemantics) {
+  Status a = Status::Corruption("bad");
+  Status b = a;
+  EXPECT_TRUE(a.IsCorruption());
+  EXPECT_TRUE(b.IsCorruption());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(a.IsCorruption());
+}
+
+TEST(Logging, NumberToString) {
+  EXPECT_EQ("0", NumberToString(0));
+  EXPECT_EQ("1", NumberToString(1));
+  EXPECT_EQ("9", NumberToString(9));
+  EXPECT_EQ("10", NumberToString(10));
+  EXPECT_EQ("18446744073709551615",
+            NumberToString(18446744073709551615ull));
+}
+
+TEST(Logging, EscapeString) {
+  EXPECT_EQ("abc", EscapeString("abc"));
+  EXPECT_EQ("\\x00\\x01", EscapeString(Slice("\x00\x01", 2)));
+  EXPECT_EQ("a\\xff", EscapeString(Slice("a\xff", 2)));
+}
+
+TEST(Logging, ConsumeDecimalNumberRoundtrip) {
+  for (uint64_t number : {0ull, 1ull, 9ull, 10ull, 11ull, 12345678ull,
+                          18446744073709551615ull}) {
+    std::string input = NumberToString(number);
+    Slice slice(input);
+    uint64_t result;
+    ASSERT_TRUE(ConsumeDecimalNumber(&slice, &result));
+    ASSERT_EQ(number, result);
+    ASSERT_TRUE(slice.empty());
+  }
+}
+
+TEST(Logging, ConsumeDecimalNumberOverflow) {
+  // One more than max uint64.
+  std::string input = "18446744073709551616";
+  Slice slice(input);
+  uint64_t result;
+  ASSERT_FALSE(ConsumeDecimalNumber(&slice, &result));
+}
+
+TEST(Logging, ConsumeDecimalNumberNoDigits) {
+  std::string input = "abc";
+  Slice slice(input);
+  uint64_t result;
+  ASSERT_FALSE(ConsumeDecimalNumber(&slice, &result));
+}
+
+TEST(Logging, ConsumeDecimalNumberPartial) {
+  std::string input = "123abc";
+  Slice slice(input);
+  uint64_t result;
+  ASSERT_TRUE(ConsumeDecimalNumber(&slice, &result));
+  ASSERT_EQ(123u, result);
+  ASSERT_EQ("abc", slice.ToString());
+}
+
+TEST(Random, Deterministic) {
+  Random a(17), b(17);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(Random, UniformRange) {
+  Random rng(301);
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Random, UniformCoversRange) {
+  Random rng(301);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) {
+    seen.insert(rng.Uniform(8));
+  }
+  EXPECT_EQ(8u, seen.size());
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(0.5, sum / 10000, 0.02);
+}
+
+TEST(NoDestructor, StaticInstance) {
+  struct DoNotDestruct {
+    explicit DoNotDestruct(uint32_t a) : a(a) {}
+    ~DoNotDestruct() { std::abort(); }
+    uint32_t a;
+  };
+  static NoDestructor<DoNotDestruct> instance(42);
+  EXPECT_EQ(42u, instance.get()->a);
+}
+
+}  // namespace ldc

@@ -1,0 +1,104 @@
+#include "db/version_edit.h"
+
+#include "gtest/gtest.h"
+
+namespace ldc {
+
+static void TestEncodeDecode(const VersionEdit& edit) {
+  std::string encoded, encoded2;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  parsed.EncodeTo(&encoded2);
+  ASSERT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecode) {
+  static const uint64_t kBig = 1ull << 50;
+
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    TestEncodeDecode(edit);
+    edit.AddFile(3, kBig + 300 + i, kBig + 400 + i,
+                 InternalKey("foo", kBig + 500 + i, kTypeValue),
+                 InternalKey("zoo", kBig + 600 + i, kTypeDeletion));
+    edit.RemoveFile(4, kBig + 700 + i);
+    edit.SetCompactPointer(i, InternalKey("x", kBig + 900 + i, kTypeValue));
+  }
+
+  edit.SetComparatorName("foo");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, EncodeDecodeLdcRecords) {
+  VersionEdit edit;
+
+  FrozenFileMeta frozen;
+  frozen.number = 42;
+  frozen.file_size = 2 * 1024 * 1024;
+  frozen.origin_level = 2;
+  frozen.smallest = InternalKey("aaa", 100, kTypeValue);
+  frozen.largest = InternalKey("mmm", 200, kTypeValue);
+  edit.FreezeFile(frozen);
+
+  SliceLinkMeta link;
+  link.lower_file_number = 77;
+  link.frozen_file_number = 42;
+  link.link_seq = 9;
+  link.estimated_bytes = 123456;
+  link.smallest = InternalKey("aaa", 100, kTypeValue);
+  link.largest = InternalKey("ggg", 0, static_cast<ValueType>(0));
+  edit.AddSliceLink(link);
+
+  edit.ConsumeLinks(31);
+  edit.RemoveFrozenFile(17);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+
+  std::string encoded2;
+  parsed.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+
+  const std::string debug = parsed.DebugString();
+  EXPECT_NE(std::string::npos, debug.find("FreezeFile: 42"));
+  EXPECT_NE(std::string::npos, debug.find("SliceLink: frozen 42 -> lower 77"));
+  EXPECT_NE(std::string::npos, debug.find("ConsumeLinks: 31"));
+  EXPECT_NE(std::string::npos, debug.find("RemoveFrozenFile: 17"));
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\xff\xfe garbage")).ok());
+}
+
+TEST(VersionEditTest, DecodeRejectsTruncatedNewFile) {
+  VersionEdit edit;
+  edit.AddFile(1, 10, 100, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  encoded.resize(encoded.size() - 3);
+  VersionEdit parsed;
+  EXPECT_FALSE(parsed.DecodeFrom(encoded).ok());
+}
+
+TEST(VersionEditTest, ClearResetsEverything) {
+  VersionEdit edit;
+  edit.SetLogNumber(5);
+  edit.AddFile(1, 10, 100, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  edit.ConsumeLinks(3);
+  edit.Clear();
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  EXPECT_TRUE(encoded.empty());
+}
+
+}  // namespace ldc

@@ -1,0 +1,204 @@
+// Tests for the workload substrate: key codecs, Zipf generator properties,
+// Table-III spec construction, and the closed-loop driver.
+
+#include "workload/workload.h"
+
+#include <map>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/sim.h"
+#include "ldc/statistics.h"
+#include "workload/key_generator.h"
+#include "workload/zipf.h"
+
+namespace ldc {
+
+TEST(KeyGenerator, SixteenByteKeys) {
+  EXPECT_EQ(16u, MakeKey(0).size());
+  EXPECT_EQ(16u, MakeKey(999999999999ull).size());
+  EXPECT_EQ("user000000000042", MakeKey(42));
+}
+
+TEST(KeyGenerator, PreservesOrder) {
+  EXPECT_LT(MakeKey(1), MakeKey(2));
+  EXPECT_LT(MakeKey(99), MakeKey(100));
+  EXPECT_LT(MakeKey(999999), MakeKey(1000000));
+}
+
+TEST(KeyGenerator, ParseRoundtrip) {
+  for (uint64_t id : {0ull, 1ull, 42ull, 999999999999ull}) {
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseKey(MakeKey(id), &parsed));
+    EXPECT_EQ(id, parsed);
+  }
+  uint64_t parsed;
+  EXPECT_FALSE(ParseKey("short", &parsed));
+  EXPECT_FALSE(ParseKey("xxxx000000000042", &parsed));
+  EXPECT_FALSE(ParseKey("user00000000004x", &parsed));
+}
+
+TEST(KeyGenerator, ValuesAreDeterministic) {
+  std::string a, b, c;
+  MakeValue(7, 3, 100, &a);
+  MakeValue(7, 3, 100, &b);
+  MakeValue(7, 4, 100, &c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(100u, a.size());
+}
+
+TEST(Zipf, UniformWhenSIsZero) {
+  ZipfGenerator gen(1000, 0.0, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Every bucket should be hit close to 100 times.
+  for (const auto& kvp : counts) {
+    EXPECT_GT(kvp.second, 40);
+    EXPECT_LT(kvp.second, 200);
+  }
+  EXPECT_GT(counts.size(), 990u);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  // Without scrambling, rank 0 is the most popular item and popularity
+  // decreases with rank.
+  ZipfGenerator gen(1000, 1.2, 42, /*scramble=*/false);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; i++) {
+    counts[gen.Next()]++;
+  }
+  // Head item gets far more than the uniform share.
+  EXPECT_GT(counts[0], kSamples / 100);
+  // Monotone-ish decay between decades.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Zipf, HigherExponentIsMoreSkewed) {
+  const int kSamples = 50000;
+  double previous_head_share = 0;
+  for (double s : {0.5, 1.0, 2.0}) {
+    ZipfGenerator gen(10000, s, 7, /*scramble=*/false);
+    int head = 0;
+    for (int i = 0; i < kSamples; i++) {
+      if (gen.Next() < 10) head++;
+    }
+    const double share = static_cast<double>(head) / kSamples;
+    EXPECT_GT(share, previous_head_share);
+    previous_head_share = share;
+  }
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  ZipfGenerator a(1000, 0.99, 5), b(1000, 0.99, 5);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(WorkloadSpecs, TableIIIMixes) {
+  EXPECT_DOUBLE_EQ(1.0, MakeTableIIIWorkload("WO", 10, 10).write_fraction);
+  EXPECT_DOUBLE_EQ(0.7, MakeTableIIIWorkload("WH", 10, 10).write_fraction);
+  EXPECT_DOUBLE_EQ(0.5, MakeTableIIIWorkload("RWB", 10, 10).write_fraction);
+  EXPECT_DOUBLE_EQ(0.3, MakeTableIIIWorkload("RH", 10, 10).write_fraction);
+  EXPECT_DOUBLE_EQ(0.0, MakeTableIIIWorkload("RO", 10, 10).write_fraction);
+  EXPECT_EQ(QueryType::kPointLookup,
+            MakeTableIIIWorkload("WH", 10, 10).query_type);
+  EXPECT_EQ(QueryType::kRangeScan,
+            MakeTableIIIWorkload("SCN-RWB", 10, 10).query_type);
+  EXPECT_DOUBLE_EQ(0.7, MakeTableIIIWorkload("SCN-WH", 10, 10).write_fraction);
+  // RO preloads the whole key space; mixed loads preload half.
+  EXPECT_EQ(10u, MakeTableIIIWorkload("RO", 10, 10).preload_keys);
+  EXPECT_EQ(5u, MakeTableIIIWorkload("RWB", 10, 10).preload_keys);
+  EXPECT_EQ(0u, MakeTableIIIWorkload("WO", 10, 10).preload_keys);
+}
+
+class WorkloadDriverTest : public testing::TestWithParam<CompactionStyle> {
+ protected:
+  WorkloadDriverTest() : env_(NewMemEnv()) {
+    SsdModel model;
+    sim_ = std::make_unique<SimContext>(model);
+    Options options;
+    options.env = env_.get();
+    options.create_if_missing = true;
+    options.write_buffer_size = 16 * 1024;
+    options.max_file_size = 16 * 1024;
+    options.level1_max_bytes = 64 * 1024;
+    options.compaction_style = GetParam();
+    options.statistics = &stats_;
+    options.sim = sim_.get();
+    DB* raw = nullptr;
+    EXPECT_TRUE(DB::Open(options, "/wldb", &raw).ok());
+    db_.reset(raw);
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<SimContext> sim_;
+  Statistics stats_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(WorkloadDriverTest, RunsEveryTableIIIWorkload) {
+  for (const char* name :
+       {"WO", "WH", "RWB", "RH", "RO", "SCN-WH", "SCN-RWB", "SCN-RH"}) {
+    WorkloadSpec spec = MakeTableIIIWorkload(name, 500, 500);
+    spec.value_size = 64;
+    WorkloadDriver driver(db_.get(), sim_.get(), &stats_);
+    ASSERT_TRUE(driver.Preload(spec).ok()) << name;
+    WorkloadResult result = driver.Run(spec);
+    ASSERT_TRUE(result.status.ok()) << name << ": "
+                                    << result.status.ToString();
+    EXPECT_EQ(500u, result.ops) << name;
+    EXPECT_GT(result.throughput_ops_per_sec, 0) << name;
+    if (spec.write_fraction > 0 && spec.write_fraction < 1) {
+      EXPECT_GT(result.writes, 0u) << name;
+      EXPECT_GT(result.reads + result.scans, 0u) << name;
+    }
+  }
+}
+
+TEST_P(WorkloadDriverTest, PointLookupsFindPreloadedData) {
+  WorkloadSpec spec = MakeTableIIIWorkload("RO", 2000, 1000);
+  spec.value_size = 64;
+  WorkloadDriver driver(db_.get(), sim_.get(), &stats_);
+  ASSERT_TRUE(driver.Preload(spec).ok());
+  WorkloadResult result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+  // Everything was preloaded: every lookup must hit.
+  EXPECT_EQ(result.reads, result.hits);
+  EXPECT_GT(result.hits, 0u);
+}
+
+TEST_P(WorkloadDriverTest, TimelineIsPopulated) {
+  WorkloadSpec spec = MakeTableIIIWorkload("WO", 2000, 1000);
+  spec.value_size = 64;
+  spec.latency_sample_interval_us = 1000;
+  WorkloadDriver driver(db_.get(), sim_.get(), &stats_);
+  WorkloadResult result = driver.Run(spec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(driver.latency_timeline().empty());
+  uint64_t total_ops = 0;
+  for (const LatencySample& sample : driver.latency_timeline()) {
+    total_ops += sample.write_ops + sample.read_ops;
+  }
+  EXPECT_EQ(2000u, total_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, WorkloadDriverTest,
+                         testing::Values(CompactionStyle::kUdc,
+                                         CompactionStyle::kLdc),
+                         [](const testing::TestParamInfo<CompactionStyle>& i) {
+                           return i.param == CompactionStyle::kUdc
+                                      ? std::string("Udc")
+                                      : std::string("Ldc");
+                         });
+
+}  // namespace ldc
