@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_fluctuation"
+  "../bench/bench_fig01_fluctuation.pdb"
+  "CMakeFiles/bench_fig01_fluctuation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig01_fluctuation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig01_fluctuation.dir/bench_fig01_fluctuation.cc.o"
+  "CMakeFiles/bench_fig01_fluctuation.dir/bench_fig01_fluctuation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

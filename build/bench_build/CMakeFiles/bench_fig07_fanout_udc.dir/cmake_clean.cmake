@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_fanout_udc"
+  "../bench/bench_fig07_fanout_udc.pdb"
+  "CMakeFiles/bench_fig07_fanout_udc.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig07_fanout_udc.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig07_fanout_udc.dir/bench_fig07_fanout_udc.cc.o"
+  "CMakeFiles/bench_fig07_fanout_udc.dir/bench_fig07_fanout_udc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_fanout_udc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

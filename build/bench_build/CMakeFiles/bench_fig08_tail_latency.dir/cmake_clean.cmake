@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_tail_latency"
+  "../bench/bench_fig08_tail_latency.pdb"
+  "CMakeFiles/bench_fig08_tail_latency.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig08_tail_latency.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig08_tail_latency.dir/bench_fig08_tail_latency.cc.o"
+  "CMakeFiles/bench_fig08_tail_latency.dir/bench_fig08_tail_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

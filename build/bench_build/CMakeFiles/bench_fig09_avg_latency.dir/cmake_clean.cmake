@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_avg_latency"
+  "../bench/bench_fig09_avg_latency.pdb"
+  "CMakeFiles/bench_fig09_avg_latency.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig09_avg_latency.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig09_avg_latency.dir/bench_fig09_avg_latency.cc.o"
+  "CMakeFiles/bench_fig09_avg_latency.dir/bench_fig09_avg_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_avg_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_throughput"
+  "../bench/bench_fig10_throughput.pdb"
+  "CMakeFiles/bench_fig10_throughput.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig10_throughput.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig10_throughput.dir/bench_fig10_throughput.cc.o"
+  "CMakeFiles/bench_fig10_throughput.dir/bench_fig10_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

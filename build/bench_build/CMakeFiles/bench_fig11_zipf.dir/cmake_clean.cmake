@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_zipf"
+  "../bench/bench_fig11_zipf.pdb"
+  "CMakeFiles/bench_fig11_zipf.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_zipf.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_zipf.dir/bench_fig11_zipf.cc.o"
+  "CMakeFiles/bench_fig11_zipf.dir/bench_fig11_zipf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

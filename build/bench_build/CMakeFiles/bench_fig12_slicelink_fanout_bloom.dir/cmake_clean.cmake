@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_slicelink_fanout_bloom"
+  "../bench/bench_fig12_slicelink_fanout_bloom.pdb"
+  "CMakeFiles/bench_fig12_slicelink_fanout_bloom.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_slicelink_fanout_bloom.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_slicelink_fanout_bloom.dir/bench_fig12_slicelink_fanout_bloom.cc.o"
+  "CMakeFiles/bench_fig12_slicelink_fanout_bloom.dir/bench_fig12_slicelink_fanout_bloom.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_slicelink_fanout_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_bloom_readonly"
+  "../bench/bench_fig13_bloom_readonly.pdb"
+  "CMakeFiles/bench_fig13_bloom_readonly.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_bloom_readonly.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_bloom_readonly.dir/bench_fig13_bloom_readonly.cc.o"
+  "CMakeFiles/bench_fig13_bloom_readonly.dir/bench_fig13_bloom_readonly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bloom_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_space"
+  "../bench/bench_fig15_space.pdb"
+  "CMakeFiles/bench_fig15_space.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig15_space.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig15_space.dir/bench_fig15_space.cc.o"
+  "CMakeFiles/bench_fig15_space.dir/bench_fig15_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

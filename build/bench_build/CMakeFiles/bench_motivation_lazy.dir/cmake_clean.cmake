@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_motivation_lazy"
+  "../bench/bench_motivation_lazy.pdb"
+  "CMakeFiles/bench_motivation_lazy.dir/bench_common.cc.o"
+  "CMakeFiles/bench_motivation_lazy.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_motivation_lazy.dir/bench_motivation_lazy.cc.o"
+  "CMakeFiles/bench_motivation_lazy.dir/bench_motivation_lazy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

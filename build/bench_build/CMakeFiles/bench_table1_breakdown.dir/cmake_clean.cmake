@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_breakdown"
+  "../bench/bench_table1_breakdown.pdb"
+  "CMakeFiles/bench_table1_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table1_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table1_breakdown.dir/bench_table1_breakdown.cc.o"
+  "CMakeFiles/bench_table1_breakdown.dir/bench_table1_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_lab.dir/compaction_lab.cpp.o"
+  "CMakeFiles/compaction_lab.dir/compaction_lab.cpp.o.d"
+  "compaction_lab"
+  "compaction_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

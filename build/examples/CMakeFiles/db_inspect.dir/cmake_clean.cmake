@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_inspect.dir/db_inspect.cpp.o"
+  "CMakeFiles/db_inspect.dir/db_inspect.cpp.o.d"
+  "db_inspect"
+  "db_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_lifetime.dir/ssd_lifetime.cpp.o"
+  "CMakeFiles/ssd_lifetime.dir/ssd_lifetime.cpp.o.d"
+  "ssd_lifetime"
+  "ssd_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

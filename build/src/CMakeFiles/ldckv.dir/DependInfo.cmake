@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/builder.cc" "src/CMakeFiles/ldckv.dir/db/builder.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/builder.cc.o.d"
+  "/root/repo/src/db/compaction.cc" "src/CMakeFiles/ldckv.dir/db/compaction.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/compaction.cc.o.d"
+  "/root/repo/src/db/db_impl.cc" "src/CMakeFiles/ldckv.dir/db/db_impl.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/db_impl.cc.o.d"
+  "/root/repo/src/db/db_iter.cc" "src/CMakeFiles/ldckv.dir/db/db_iter.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/db_iter.cc.o.d"
+  "/root/repo/src/db/dbformat.cc" "src/CMakeFiles/ldckv.dir/db/dbformat.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/dbformat.cc.o.d"
+  "/root/repo/src/db/filename.cc" "src/CMakeFiles/ldckv.dir/db/filename.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/filename.cc.o.d"
+  "/root/repo/src/db/ldc_links.cc" "src/CMakeFiles/ldckv.dir/db/ldc_links.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/ldc_links.cc.o.d"
+  "/root/repo/src/db/options.cc" "src/CMakeFiles/ldckv.dir/db/options.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/options.cc.o.d"
+  "/root/repo/src/db/repair.cc" "src/CMakeFiles/ldckv.dir/db/repair.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/repair.cc.o.d"
+  "/root/repo/src/db/table_cache.cc" "src/CMakeFiles/ldckv.dir/db/table_cache.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/table_cache.cc.o.d"
+  "/root/repo/src/db/version_edit.cc" "src/CMakeFiles/ldckv.dir/db/version_edit.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/version_edit.cc.o.d"
+  "/root/repo/src/db/version_set.cc" "src/CMakeFiles/ldckv.dir/db/version_set.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/version_set.cc.o.d"
+  "/root/repo/src/db/write_batch.cc" "src/CMakeFiles/ldckv.dir/db/write_batch.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/db/write_batch.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/CMakeFiles/ldckv.dir/env/env.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/env/env.cc.o.d"
+  "/root/repo/src/env/mem_env.cc" "src/CMakeFiles/ldckv.dir/env/mem_env.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/env/mem_env.cc.o.d"
+  "/root/repo/src/env/posix_env.cc" "src/CMakeFiles/ldckv.dir/env/posix_env.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/env/posix_env.cc.o.d"
+  "/root/repo/src/memtbl/memtable.cc" "src/CMakeFiles/ldckv.dir/memtbl/memtable.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/memtbl/memtable.cc.o.d"
+  "/root/repo/src/sim/sim_context.cc" "src/CMakeFiles/ldckv.dir/sim/sim_context.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/sim/sim_context.cc.o.d"
+  "/root/repo/src/stats/statistics.cc" "src/CMakeFiles/ldckv.dir/stats/statistics.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/stats/statistics.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/ldckv.dir/table/block.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/ldckv.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/filter_block.cc" "src/CMakeFiles/ldckv.dir/table/filter_block.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/filter_block.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/ldckv.dir/table/format.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/ldckv.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merger.cc" "src/CMakeFiles/ldckv.dir/table/merger.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/merger.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/ldckv.dir/table/table.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/ldckv.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/table/two_level_iterator.cc" "src/CMakeFiles/ldckv.dir/table/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/table/two_level_iterator.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/ldckv.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/CMakeFiles/ldckv.dir/util/bloom.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/bloom.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/CMakeFiles/ldckv.dir/util/cache.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/ldckv.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/ldckv.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/ldckv.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/ldckv.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/ldckv.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/ldckv.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ldckv.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/util/status.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/ldckv.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/ldckv.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/workload/key_generator.cc" "src/CMakeFiles/ldckv.dir/workload/key_generator.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/workload/key_generator.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/ldckv.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/workload/workload.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/ldckv.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/ldckv.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

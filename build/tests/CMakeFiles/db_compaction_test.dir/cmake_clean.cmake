@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_compaction_test.dir/db_compaction_test.cc.o"
+  "CMakeFiles/db_compaction_test.dir/db_compaction_test.cc.o.d"
+  "db_compaction_test"
+  "db_compaction_test.pdb"
+  "db_compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

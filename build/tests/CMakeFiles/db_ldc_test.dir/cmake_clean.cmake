@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_ldc_test.dir/db_ldc_test.cc.o"
+  "CMakeFiles/db_ldc_test.dir/db_ldc_test.cc.o.d"
+  "db_ldc_test"
+  "db_ldc_test.pdb"
+  "db_ldc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_ldc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tiered_test.dir/db_tiered_test.cc.o"
+  "CMakeFiles/db_tiered_test.dir/db_tiered_test.cc.o.d"
+  "db_tiered_test"
+  "db_tiered_test.pdb"
+  "db_tiered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tiered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

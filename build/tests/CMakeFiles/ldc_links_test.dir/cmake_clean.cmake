@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldc_links_test.dir/ldc_links_test.cc.o"
+  "CMakeFiles/ldc_links_test.dir/ldc_links_test.cc.o.d"
+  "ldc_links_test"
+  "ldc_links_test.pdb"
+  "ldc_links_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldc_links_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
