@@ -18,6 +18,7 @@ namespace {
 
 struct Config {
   const char* label;
+  const char* tag;      // BENCH_<tag>.json file-name fragment
   int fixed_threshold;  // 0 => fan-out default
   bool adaptive;
 };
@@ -51,6 +52,7 @@ double RunPhases(const Config& config) {
       std::exit(1);
     }
   }
+  ExportBenchJson(std::string("ablation_") + config.tag, bench);
   return total_micros > 0 ? 1e6 * static_cast<double>(total_ops) / total_micros
                           : 0;
 }
@@ -64,10 +66,10 @@ int main() {
                    params);
 
   const std::vector<Config> configs = {
-      {"fixed T_s=2 (read-tuned)", 2, false},
-      {"fixed T_s=10 (=fan-out)", 0, false},
-      {"fixed T_s=20 (write-tuned)", 20, false},
-      {"adaptive (SS III-B4)", 0, true},
+      {"fixed T_s=2 (read-tuned)", "ts2", 2, false},
+      {"fixed T_s=10 (=fan-out)", "ts10", 0, false},
+      {"fixed T_s=20 (write-tuned)", "ts20", 20, false},
+      {"adaptive (SS III-B4)", "adaptive", 0, true},
   };
   std::printf("\n%-28s %16s\n", "configuration", "thpt (ops/s)");
   PrintSectionRule();

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/json.h"
+
 namespace ldc {
 namespace bench {
 
@@ -97,6 +99,58 @@ WorkloadSpec MakeSpec(const BenchParams& params, const std::string& name) {
   spec.zipf_s = params.zipf_s;
   spec.seed = params.seed;
   return spec;
+}
+
+const char* StyleName(CompactionStyle style) {
+  switch (style) {
+    case CompactionStyle::kUdc:
+      return "udc";
+    case CompactionStyle::kLdc:
+      return "ldc";
+    case CompactionStyle::kTiered:
+      return "tiered";
+  }
+  return "unknown";
+}
+
+void ExportBenchJson(const std::string& tag, BenchDb& bench) {
+  const char* dir = std::getenv("LDCKV_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  path += "/BENCH_" + tag + ".json";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", tag);
+  const BenchParams& p = bench.params();
+  w.Key("params");
+  w.BeginObject();
+  w.KV("style", StyleName(p.style));
+  w.KV("num_ops", p.num_ops);
+  w.KV("key_space", p.key_space);
+  w.KV("value_size", static_cast<uint64_t>(p.value_size));
+  w.KV("write_buffer_size", static_cast<uint64_t>(p.write_buffer_size));
+  w.KV("max_file_size", static_cast<uint64_t>(p.max_file_size));
+  w.KV("fan_out", p.fan_out);
+  w.KV("slice_link_threshold", p.slice_link_threshold);
+  w.KV("zipf_s", p.zipf_s);
+  w.EndObject();
+  std::string stats_json;
+  if (bench.db()->GetProperty("ldc.stats-json", &stats_json)) {
+    w.Key("db");
+    w.Raw(stats_json);
+  }
+  w.EndObject();
+
+  // The DB lives on the in-memory Env; the report goes to the real fs.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
 }
 
 void PrintBenchHeader(const std::string& figure, const std::string& title,

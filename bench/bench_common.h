@@ -95,6 +95,17 @@ class BenchDb {
 // Builds a Table-III workload spec scaled to the given params.
 WorkloadSpec MakeSpec(const BenchParams& params, const std::string& name);
 
+// Short lowercase name of a compaction style ("udc" / "ldc" / "tiered"),
+// suitable for tags and file names.
+const char* StyleName(CompactionStyle style);
+
+// Writes BENCH_<tag>.json — the run parameters plus the DB's full
+// "ldc.stats-json" document (per-level compaction breakdowns, cumulative
+// write-amplification, ticker/histogram percentiles) — to the directory
+// named by LDCKV_BENCH_JSON_DIR (default: the current directory). Call it
+// while the BenchDb is still open, after the measured workload.
+void ExportBenchJson(const std::string& tag, BenchDb& bench);
+
 // --- Report formatting -----------------------------------------------------
 
 void PrintBenchHeader(const std::string& figure, const std::string& title,

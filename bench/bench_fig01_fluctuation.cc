@@ -32,6 +32,8 @@ void RunTimeline(CompactionStyle style, const char* label) {
     std::exit(1);
   }
 
+  ExportBenchJson(std::string("fig01_") + StyleName(style), bench);
+
   const std::vector<LatencySample>& timeline = bench.latency_timeline();
   std::printf("\n%s: per-2ms-bucket average latency (us)\n", label);
   std::printf("%8s %14s %14s\n", "bucket", "write avg", "read avg");

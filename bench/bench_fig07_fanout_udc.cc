@@ -34,6 +34,7 @@ int main() {
                    result.status.ToString().c_str());
       return 1;
     }
+    ExportBenchJson("fig07_fanout" + std::to_string(fanout), bench);
     const uint64_t compaction_io = bench.stats()->Get(kCompactionReadBytes) +
                                    bench.stats()->Get(kCompactionWriteBytes);
     const uint64_t user_bytes = bench.stats()->Get(kWalWriteBytes);

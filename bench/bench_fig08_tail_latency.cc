@@ -28,6 +28,7 @@ Histogram RunAndCollect(CompactionStyle style) {
     std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
     std::exit(1);
   }
+  ExportBenchJson(std::string("fig08_") + StyleName(style), bench);
   Histogram all;
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs));
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs));

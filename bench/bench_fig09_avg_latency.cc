@@ -30,6 +30,7 @@ double RunAvgLatency(CompactionStyle style, const std::string& workload) {
     std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
     std::exit(1);
   }
+  ExportBenchJson("fig09_" + workload + "_" + StyleName(style), bench);
   Histogram all;
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs));
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs));

@@ -39,6 +39,7 @@ Row RunPair(const std::string& workload) {
                    result.status.ToString().c_str());
       std::exit(1);
     }
+    ExportBenchJson("fig10_" + workload + "_" + StyleName(params.style), bench);
     const uint64_t read = bench.stats()->Get(kCompactionReadBytes);
     const uint64_t write = bench.stats()->Get(kCompactionWriteBytes);
     if (pass == 0) {

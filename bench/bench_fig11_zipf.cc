@@ -46,6 +46,9 @@ int main() {
                      result.status.ToString().c_str());
         return 1;
       }
+      ExportBenchJson(std::string("fig11_") + c.label + "_" +
+                          StyleName(params.style),
+                      bench);
       thpt[pass] = result.throughput_ops_per_sec;
     }
     std::printf("%-10s %14.0f %14.0f %+11.1f%% %14s\n", c.label, thpt[0],

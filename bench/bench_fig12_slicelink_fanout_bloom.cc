@@ -23,7 +23,7 @@ struct RunOutput {
   uint64_t compaction_io = 0;
 };
 
-RunOutput RunOne(const BenchParams& params) {
+RunOutput RunOne(const BenchParams& params, const std::string& tag) {
   BenchDb bench(params);
   WorkloadResult result =
       bench.RunWorkload(MakeSpec(params, "RWB"));
@@ -31,6 +31,7 @@ RunOutput RunOne(const BenchParams& params) {
     std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
     std::exit(1);
   }
+  ExportBenchJson(tag, bench);
   RunOutput out;
   out.throughput = result.throughput_ops_per_sec;
   out.compaction_io = bench.stats()->Get(kCompactionReadBytes) +
@@ -54,7 +55,7 @@ int main() {
     BenchParams params = base;
     params.style = CompactionStyle::kLdc;
     params.slice_link_threshold = ts;
-    RunOutput out = RunOne(params);
+    RunOutput out = RunOne(params, "fig12_ts" + std::to_string(ts));
     std::printf("%-8d %14.0f %16s\n", ts, out.throughput,
                 HumanBytes(out.compaction_io).c_str());
   }
@@ -75,7 +76,8 @@ int main() {
       params.style =
           pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
       params.fan_out = fanout;
-      out[pass] = RunOne(params);
+      out[pass] = RunOne(params, "fig12_fanout" + std::to_string(fanout) +
+                                     "_" + StyleName(params.style));
     }
     std::printf("%-8d %14.0f %14.0f %+9.1f%% %14s %14s\n", fanout,
                 out[0].throughput, out[1].throughput,
@@ -101,7 +103,8 @@ int main() {
       params.style =
           pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
       params.bloom_bits_per_key = bits;
-      out[pass] = RunOne(params);
+      out[pass] = RunOne(params, "fig12_bloom" + std::to_string(bits) + "_" +
+                                     StyleName(params.style));
     }
     std::printf("%-8d %14.0f %14.0f %14s %14s\n", bits, out[0].throughput,
                 out[1].throughput, HumanBytes(out[0].compaction_io).c_str(),

@@ -73,6 +73,9 @@ int main() {
                      result.status.ToString().c_str());
         return 1;
       }
+      ExportBenchJson("fig13_bloom" + std::to_string(bits) + "_" +
+                          StyleName(params.style),
+                      bench);
       reads[pass] = bench.stats()->Get(kBlockReads);
       if (pass == 1) useful = bench.stats()->Get(kBloomUseful);
     }

@@ -36,6 +36,9 @@ int main() {
                      result.status.ToString().c_str());
         return 1;
       }
+      ExportBenchJson("fig14_ops" + std::to_string(params.num_ops) + "_" +
+                          StyleName(params.style),
+                      bench);
       thpt[pass] = result.throughput_ops_per_sec;
       io[pass] = bench.stats()->Get(kCompactionReadBytes) +
                  bench.stats()->Get(kCompactionWriteBytes);

@@ -36,6 +36,9 @@ int main() {
                      result.status.ToString().c_str());
         return 1;
       }
+      ExportBenchJson("fig15_ops" + std::to_string(params.num_ops) + "_" +
+                          StyleName(params.style),
+                      bench);
       // Space is measured while the tree still carries its link state:
       // WaitForIdle has settled compaction, so what remains is the steady
       // frozen-region overhead.
@@ -84,6 +87,9 @@ int main() {
                      result.status.ToString().c_str());
         return 1;
       }
+      ExportBenchJson("fig15_tuned_ops" + std::to_string(params.num_ops) +
+                          "_" + StyleName(params.style),
+                      bench);
       space[pass] = bench.TotalStoredBytes();
     }
     std::printf("%-12llu %14s %14s %+11.2f%%\n",

@@ -41,6 +41,7 @@ EngineResult RunEngine(const char* label, CompactionStyle style) {
                  result.status.ToString().c_str());
     std::exit(1);
   }
+  ExportBenchJson(std::string("motivation_") + StyleName(style), bench);
   Histogram all;
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs));
   all.Merge(bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs));

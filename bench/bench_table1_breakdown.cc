@@ -30,6 +30,8 @@ int main() {
     return 1;
   }
 
+  ExportBenchJson("table1_udc", bench);
+
   SimContext* sim = bench.sim();
   const double compaction =
       static_cast<double>(sim->BusyMicros(SimActivity::kCompaction));

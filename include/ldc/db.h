@@ -115,7 +115,18 @@ class DB {
   //  "ldc.num-files-at-level<N>" - return the number of files at level <N>,
   //     where <N> is an ASCII representation of a level number (e.g., "0").
   //  "ldc.stats" - returns a multi-line string that describes statistics
-  //     about the internal operation of the DB.
+  //     about the internal operation of the DB (per-level file counts,
+  //     live bytes, and frozen bytes).
+  //  "ldc.compaction-stats" - per-level compaction breakdown: job counts,
+  //     pick/read/merge/write/install time, bytes read and written, and
+  //     write amplification, plus flush totals and the cumulative
+  //     write-amplification footer.
+  //  "ldc.cumulative-writeamp" - cumulative write amplification (all bytes
+  //     written by flushes+compactions divided by bytes flushed) as a
+  //     decimal string.
+  //  "ldc.stats-json" - one JSON document with the per-level breakdowns,
+  //     flush totals, frozen-region state, and (when Options::statistics is
+  //     set) every ticker and histogram including latency percentiles.
   //  "ldc.sstables" - returns a multi-line string that describes all
   //     of the sstables that make up the db contents.
   //  "ldc.frozen-bytes" - total bytes held by LDC's frozen region.
@@ -131,6 +142,10 @@ class DB {
   // Note that the returned sizes measure file system space usage, so
   // if the user data compresses by a factor of ten, the returned
   // sizes will be one-tenth the size of the corresponding user data size.
+  //
+  // Under LDC the estimate also counts linked slices overlapping the range:
+  // data frozen in upper-level files but logically attached to lower-level
+  // tables still occupies device space until the merge reclaims it.
   virtual void GetApproximateSizes(const Range* range, int n,
                                    uint64_t* sizes) = 0;
 

@@ -9,6 +9,7 @@
 #ifndef LDC_INCLUDE_ENV_H_
 #define LDC_INCLUDE_ENV_H_
 
+#include <cstdarg>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -178,6 +179,34 @@ class FileLock {
 
   virtual ~FileLock();
 };
+
+// An interface for writing info-log messages. The DB writes one line per
+// flush / compaction / link / merge / stall event to Options::info_log
+// (a LOG file in the DB directory by default).
+class Logger {
+ public:
+  Logger() = default;
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  virtual ~Logger();
+
+  // Write an entry to the log file with the specified format.
+  virtual void Logv(const char* format, std::va_list ap) = 0;
+};
+
+// Log the specified data to *info_log if info_log is non-null.
+void Log(Logger* info_log, const char* format, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((__format__(__printf__, 2, 3)))
+#endif
+    ;
+
+// Creates a Logger that appends timestamped lines to `fname` through `env`
+// (works with any Env, including the deterministic in-memory one). The
+// caller owns *result.
+Status NewFileLogger(Env* env, const std::string& fname, Logger** result);
 
 // A utility routine: write "data" to the named file.
 Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname);

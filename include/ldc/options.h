@@ -3,13 +3,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace ldc {
 
 class Cache;
 class Comparator;
 class Env;
+class EventListener;
 class FilterPolicy;
+class Logger;
 class SimContext;
 class Snapshot;
 class Statistics;
@@ -164,6 +167,17 @@ struct Options {
 
   // If non-null, collect the counters/latency histograms the paper reports.
   Statistics* statistics = nullptr;
+
+  // Any internal progress and error information generated by the db will
+  // be written to info_log if it is non-null, or to a LOG file stored in
+  // the DB directory if info_log is null. The DB does not take ownership.
+  Logger* info_log = nullptr;
+
+  // Listeners invoked on flush / compaction / LDC link / LDC merge /
+  // frozen-file reclaim / write-stall events (see ldc/listener.h). Called
+  // synchronously on the thread doing the work; not owned by the DB and
+  // must outlive it.
+  std::vector<EventListener*> listeners;
 
   // If non-null, run against the discrete-event SSD simulator: background
   // flush/compaction is scheduled on the simulated device timeline and all

@@ -1,0 +1,61 @@
+// Thread-local per-operation instrumentation. Unlike Options::statistics
+// (process-wide cumulative tickers), a PerfContext describes what the
+// *current thread's most recent operations* did: how many blocks were
+// fetched, how many bloom filters were consulted, how many linked slices
+// the read path probed, and where the last Get was resolved. This is the
+// per-operation attribution the paper's Fig. 13 (bloom effectiveness) and
+// Table 1 (where time goes) analyses need.
+//
+// Usage:
+//   GetPerfContext()->Reset();
+//   db->Get(...);
+//   uint64_t blocks = GetPerfContext()->block_read_count;
+//
+// Counters accumulate until Reset() so a caller can measure a batch.
+
+#ifndef LDC_INCLUDE_PERF_CONTEXT_H_
+#define LDC_INCLUDE_PERF_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ldc {
+
+struct PerfContext {
+  // Values of last_get_hit_level besides plain SST levels (>= 0).
+  static constexpr int kHitNone = -1;      // last Get missed everywhere
+  static constexpr int kHitMemTable = -2;  // served from the active memtable
+  static constexpr int kHitImmMemTable = -3;  // served from the imm memtable
+
+  // Read-path block accounting.
+  uint64_t block_read_count = 0;      // data blocks fetched from the device
+  uint64_t block_read_bytes = 0;      // bytes of those blocks
+  uint64_t block_cache_hit_count = 0; // data blocks served from the cache
+
+  // Filter effectiveness.
+  uint64_t bloom_filter_checks = 0;   // bloom filters consulted
+  uint64_t bloom_filter_useful = 0;   // consults that avoided a block read
+
+  // LDC read-path fan-out: linked slices probed before the lower file.
+  uint64_t slice_sources_checked = 0;
+
+  // Operation counts since Reset().
+  uint64_t get_count = 0;
+  uint64_t seek_count = 0;
+
+  // Where the most recent Get was resolved: kHitMemTable, kHitImmMemTable,
+  // an SST level (>= 0), or kHitNone on a miss.
+  int last_get_hit_level = kHitNone;
+
+  void Reset();
+
+  // Single-line "name=value, ..." dump of the non-zero counters.
+  std::string ToString() const;
+};
+
+// The calling thread's PerfContext. Never null; one instance per thread.
+PerfContext* GetPerfContext();
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_PERF_CONTEXT_H_

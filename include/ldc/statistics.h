@@ -94,6 +94,12 @@ class Statistics {
   // Multi-line human-readable dump of every ticker and histogram.
   std::string ToString() const;
 
+  // JSON document: {"tickers": {name: value, ...},
+  //                 "histograms": {name: {count, min, max, avg,
+  //                                       p50, p90, p95, p99, p999}, ...}}.
+  // Histograms with no samples are omitted.
+  std::string ToJson() const;
+
  private:
   std::atomic<uint64_t> tickers_[kTickerCount];
   std::unique_ptr<Histogram[]> histograms_;

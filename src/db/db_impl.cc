@@ -9,12 +9,14 @@
 #include "db/db_iter.h"
 #include "db/dbformat.h"
 #include "db/filename.h"
+#include "db/ldc_links.h"
 #include "db/table_cache.h"
 #include "db/version_edit.h"
 #include "db/version_set.h"
 #include "db/write_batch_internal.h"
 #include "ldc/cache.h"
 #include "ldc/env.h"
+#include "ldc/perf_context.h"
 #include "ldc/sim.h"
 #include "ldc/statistics.h"
 #include "ldc/write_batch.h"
@@ -22,6 +24,7 @@
 #include "table/merger.h"
 #include "table/table_builder.h"
 #include "util/coding.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
@@ -143,7 +146,18 @@ Options SanitizeOptions(const std::string& dbname,
   if (result.block_cache == nullptr) {
     result.block_cache = NewLRUCache(8 << 20);
   }
-  (void)dbname;
+  if (result.info_log == nullptr) {
+    // Open a LOG file in the DB directory, rotating the previous one to
+    // LOG.old. The caller (DBImpl) owns the created logger.
+    result.env->CreateDir(dbname);  // In case the DB does not exist yet.
+    result.env->RenameFile(InfoLogFileName(dbname),
+                           OldInfoLogFileName(dbname));
+    Status s = NewFileLogger(result.env, InfoLogFileName(dbname),
+                             &result.info_log);
+    if (!s.ok()) {
+      result.info_log = nullptr;  // No place suitable for logging.
+    }
+  }
   return result;
 }
 
@@ -159,6 +173,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       options_(SanitizeOptions(dbname, &internal_comparator_,
                                &internal_filter_policy_, raw_options)),
       owns_cache_(raw_options.block_cache == nullptr),
+      owns_info_log_(raw_options.info_log == nullptr),
       dbname_(dbname),
       table_cache_(new TableCache(dbname_, options_, TableCacheSize(options_))),
       db_lock_(nullptr),
@@ -200,6 +215,10 @@ DBImpl::~DBImpl() {
   if (owns_cache_) {
     // SanitizeOptions created this cache on the caller's behalf.
     delete options_.block_cache;
+  }
+  if (owns_info_log_) {
+    // SanitizeOptions created this logger on the caller's behalf.
+    delete options_.info_log;
   }
 }
 
@@ -481,6 +500,15 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   pending_outputs_.insert(meta.number);
   Iterator* iter = mem->NewIterator();
 
+  const uint64_t start_us = env_->NowMicros();
+  {
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    info.file_number = meta.number;
+    info.micros = start_us;
+    NotifyFlushEvent(false, info);
+  }
+
   Status s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
   delete iter;
   pending_outputs_.erase(meta.number);
@@ -496,10 +524,21 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     }
     edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
                   meta.largest);
+    const uint64_t duration = env_->NowMicros() - start_us;
     if (stats_ != nullptr) {
       stats_->Record(kFlushes);
       stats_->Record(kFlushWriteBytes, meta.file_size);
     }
+    versions_->AddFlushStats(meta.file_size, duration);
+
+    FlushJobInfo info;
+    info.db_name = dbname_;
+    info.file_number = meta.number;
+    info.bytes_written = meta.file_size;
+    info.output_level = level;
+    info.micros = env_->NowMicros();
+    info.duration_micros = duration;
+    NotifyFlushEvent(true, info);
   }
 
   return s;
@@ -573,6 +612,139 @@ int DBImpl::EffectiveSliceThreshold() const {
   if (t < 2) t = 2;
   if (t > max_threshold) t = max_threshold;
   return t;
+}
+
+// ---------------------------------------------------------------------------
+// Event notification & info log
+// ---------------------------------------------------------------------------
+
+const char* WriteStallCauseName(WriteStallCause cause) {
+  switch (cause) {
+    case WriteStallCause::kL0SlowdownTrigger:
+      return "l0-slowdown";
+    case WriteStallCause::kL0StopTrigger:
+      return "l0-stop";
+    case WriteStallCause::kMemtableLimit:
+      return "memtable-limit";
+  }
+  return "unknown";
+}
+
+static const char* CompactionStyleName(CompactionStyle style) {
+  switch (style) {
+    case CompactionStyle::kUdc:
+      return "udc";
+    case CompactionStyle::kLdc:
+      return "ldc";
+    case CompactionStyle::kTiered:
+      return "tiered";
+  }
+  return "unknown";
+}
+
+void DBImpl::NotifyFlushEvent(bool completed, const FlushJobInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    if (completed) {
+      listener->OnFlushCompleted(info);
+    } else {
+      listener->OnFlushBegin(info);
+    }
+  }
+  if (completed) {
+    Log(options_.info_log,
+        "flush finished: table #%llu -> level %d, %llu bytes, %llu us",
+        static_cast<unsigned long long>(info.file_number), info.output_level,
+        static_cast<unsigned long long>(info.bytes_written),
+        static_cast<unsigned long long>(info.duration_micros));
+  } else {
+    Log(options_.info_log, "flush started");
+  }
+}
+
+void DBImpl::NotifyCompactionEvent(bool completed,
+                                   const CompactionJobInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    if (completed) {
+      listener->OnCompactionCompleted(info);
+    } else {
+      listener->OnCompactionBegin(info);
+    }
+  }
+  if (completed) {
+    Log(options_.info_log,
+        "compaction (%s) finished: L%d -> L%d, %d in / %d out files, "
+        "%llu read / %llu written bytes, %llu us",
+        CompactionStyleName(info.style), info.input_level, info.output_level,
+        info.num_input_files, info.num_output_files,
+        static_cast<unsigned long long>(info.bytes_read),
+        static_cast<unsigned long long>(info.bytes_written),
+        static_cast<unsigned long long>(info.duration_micros));
+  } else {
+    Log(options_.info_log,
+        "compaction (%s) started: L%d -> L%d, %d input files, ~%llu bytes",
+        CompactionStyleName(info.style), info.input_level, info.output_level,
+        info.num_input_files,
+        static_cast<unsigned long long>(info.bytes_read));
+  }
+}
+
+void DBImpl::NotifyLdcLink(const LdcLinkInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    listener->OnLdcLink(info);
+  }
+  if (info.trivial_move) {
+    Log(options_.info_log,
+        "ldc link: trivial move of table #%llu from L%d (%llu bytes)",
+        static_cast<unsigned long long>(info.upper_file_number),
+        info.upper_level,
+        static_cast<unsigned long long>(info.upper_file_bytes));
+  } else {
+    Log(options_.info_log,
+        "ldc link: froze table #%llu from L%d (%llu bytes), %d slices",
+        static_cast<unsigned long long>(info.upper_file_number),
+        info.upper_level,
+        static_cast<unsigned long long>(info.upper_file_bytes),
+        info.num_slices);
+  }
+}
+
+void DBImpl::NotifyLdcMerge(const LdcMergeInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    listener->OnLdcMerge(info);
+  }
+  Log(options_.info_log,
+      "ldc merge: table #%llu at L%d + %d slices -> %d tables, "
+      "%llu read / %llu written bytes, %d frozen reclaimed, %llu us",
+      static_cast<unsigned long long>(info.lower_file_number), info.level,
+      info.num_slices, info.num_output_files,
+      static_cast<unsigned long long>(info.bytes_read),
+      static_cast<unsigned long long>(info.bytes_written),
+      info.frozen_files_reclaimed,
+      static_cast<unsigned long long>(info.duration_micros));
+}
+
+void DBImpl::NotifyFrozenFileReclaimed(const FrozenFileReclaimedInfo& info) {
+  for (EventListener* listener : options_.listeners) {
+    listener->OnFrozenFileReclaimed(info);
+  }
+  Log(options_.info_log, "frozen file reclaimed: #%llu (%llu bytes)",
+      static_cast<unsigned long long>(info.file_number),
+      static_cast<unsigned long long>(info.file_size));
+}
+
+void DBImpl::NotifyWriteStall(WriteStallCause cause,
+                              uint64_t duration_micros) {
+  WriteStallInfo info;
+  info.db_name = dbname_;
+  info.cause = cause;
+  info.micros = env_->NowMicros();
+  info.duration_micros = duration_micros;
+  for (EventListener* listener : options_.listeners) {
+    listener->OnWriteStall(info);
+  }
+  Log(options_.info_log, "write stall (%s): %llu us",
+      WriteStallCauseName(cause),
+      static_cast<unsigned long long>(duration_micros));
 }
 
 // ---------------------------------------------------------------------------
@@ -653,8 +825,16 @@ bool DBImpl::ScheduleBackgroundWork() {
   // 2b. UDC: pick a classic compaction. Trivial moves are pure metadata and
   //     are applied instantly.
   while (versions_->NeedsCompaction()) {
+    const uint64_t pick_start_us = env_->NowMicros();
     Compaction* c = versions_->PickCompaction();
     if (c == nullptr) break;
+    {
+      // Attribute the picking cost to the output level (count stays zero;
+      // only completed data work increments it).
+      CompactionStats pick_stats;
+      pick_stats.pick_micros = env_->NowMicros() - pick_start_us;
+      versions_->AddCompactionStats(c->level() + 1, pick_stats);
+    }
     if (c->IsTrivialMove()) {
       assert(c->num_input_files(0) == 1);
       FileMetaData* f = c->input(0, 0);
@@ -798,6 +978,18 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
         table_cache_->NewIterator(read_options, f->number, f->file_size));
     input_bytes += f->file_size;
   }
+
+  const uint64_t start_us = env_->NowMicros();
+  CompactionJobInfo info;
+  info.db_name = dbname_;
+  info.style = CompactionStyle::kTiered;
+  info.input_level = 0;
+  info.output_level = 0;
+  info.num_input_files = static_cast<int>(inputs.size());
+  info.bytes_read = input_bytes;
+  info.micros = start_us;
+  NotifyCompactionEvent(false, info);
+
   Iterator* input = NewMergingIterator(&internal_comparator_, iters.data(),
                                        static_cast<int>(iters.size()));
 
@@ -829,7 +1021,15 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
-  for (input->SeekToFirst(); input->Valid() && status.ok(); input->Next()) {
+  uint64_t read_us = 0;
+  uint64_t write_us = 0;
+  const uint64_t loop_start_us = env_->NowMicros();
+  {
+    const uint64_t t0 = env_->NowMicros();
+    input->SeekToFirst();
+    read_us += env_->NowMicros() - t0;
+  }
+  while (input->Valid() && status.ok()) {
     Slice key = input->key();
     bool drop = false;
     ParsedInternalKey ikey;
@@ -854,17 +1054,25 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
       last_sequence_for_key = ikey.sequence;
     }
     if (!drop) {
+      const uint64_t t0 = env_->NowMicros();
       if (builder->NumEntries() == 0) {
         out.smallest.DecodeFrom(key);
       }
       out.largest.DecodeFrom(key);
       builder->Add(key, input->value());
+      write_us += env_->NowMicros() - t0;
+    }
+    {
+      const uint64_t t0 = env_->NowMicros();
+      input->Next();
+      read_us += env_->NowMicros() - t0;
     }
   }
   if (status.ok()) status = input->status();
   delete input;
 
   if (builder != nullptr) {
+    const uint64_t t0 = env_->NowMicros();
     const uint64_t entries = builder->NumEntries();
     if (status.ok() && entries > 0) {
       status = builder->Finish();
@@ -873,12 +1081,16 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
       builder->Abandon();
     }
     delete builder;
+    write_us += env_->NowMicros() - t0;
   }
   if (outfile != nullptr) {
+    const uint64_t t0 = env_->NowMicros();
     if (status.ok()) status = outfile->Sync();
     if (status.ok()) status = outfile->Close();
     delete outfile;
+    write_us += env_->NowMicros() - t0;
   }
+  const uint64_t loop_us = env_->NowMicros() - loop_start_us;
 
   if (status.ok()) {
     if (out.file_size > 0) {
@@ -893,11 +1105,32 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
     } else {
       env_->RemoveFile(TableFileName(dbname_, out.number));
     }
+    const uint64_t install_start_us = env_->NowMicros();
     status = versions_->LogAndApply(&edit);
-    if (status.ok() && stats_ != nullptr) {
-      stats_->Record(kCompactions);
-      stats_->Record(kCompactionReadBytes, input_bytes);
-      stats_->Record(kCompactionWriteBytes, out.file_size);
+    const uint64_t install_us = env_->NowMicros() - install_start_us;
+    if (status.ok()) {
+      if (stats_ != nullptr) {
+        stats_->Record(kCompactions);
+        stats_->Record(kCompactionReadBytes, input_bytes);
+        stats_->Record(kCompactionWriteBytes, out.file_size);
+      }
+      CompactionStats cstats;
+      cstats.micros = env_->NowMicros() - start_us;
+      cstats.read_micros = read_us;
+      cstats.write_micros = write_us;
+      cstats.merge_micros =
+          loop_us > read_us + write_us ? loop_us - read_us - write_us : 0;
+      cstats.install_micros = install_us;
+      cstats.bytes_read_upper = input_bytes;
+      cstats.bytes_written = out.file_size;
+      cstats.count = 1;
+      versions_->AddCompactionStats(0, cstats);
+
+      info.num_output_files = out.file_size > 0 ? 1 : 0;
+      info.bytes_written = out.file_size;
+      info.micros = env_->NowMicros();
+      info.duration_micros = info.micros - start_us;
+      NotifyCompactionEvent(true, info);
     }
   }
   pending_outputs_.erase(out.number);
@@ -964,6 +1197,16 @@ bool DBImpl::DoLdcLinkWork() {
     ApplyLinkPlanToEdit(plan, &edit);
     edit.SetCompactPointer(level, upper->largest);
 
+    // `upper` points into the current version, which LogAndApply replaces;
+    // capture what the notification needs first.
+    LdcLinkInfo link_info;
+    link_info.db_name = dbname_;
+    link_info.upper_level = level;
+    link_info.upper_file_number = upper->number;
+    link_info.upper_file_bytes = upper->file_size;
+    link_info.num_slices = static_cast<int>(plan.slices.size());
+    link_info.trivial_move = plan.trivial_move;
+
     Status s = versions_->LogAndApply(&edit);
     if (!s.ok()) {
       RecordBackgroundError(s);
@@ -978,6 +1221,8 @@ bool DBImpl::DoLdcLinkWork() {
         stats_->Record(kLdcSlicesCreated, plan.slices.size());
       }
     }
+    link_info.micros = env_->NowMicros();
+    NotifyLdcLink(link_info);
 
     // Merge trigger: a lower-level SSTable accumulated >= T_s slices
     // (Algorithm 1, lines 8-9).
@@ -1036,8 +1281,20 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
                                          link.smallest, link.largest));
     slice_bytes += link.estimated_bytes;
   }
+  const int num_slices = static_cast<int>(links->size());
   Iterator* input = NewMergingIterator(&internal_comparator_, inputs.data(),
                                        static_cast<int>(inputs.size()));
+
+  const uint64_t start_us = env_->NowMicros();
+  CompactionJobInfo cinfo;
+  cinfo.db_name = dbname_;
+  cinfo.style = CompactionStyle::kLdc;
+  cinfo.input_level = level;
+  cinfo.output_level = level;
+  cinfo.num_input_files = 1 + num_slices;
+  cinfo.bytes_read = target.file_size + slice_bytes;
+  cinfo.micros = start_us;
+  NotifyCompactionEvent(false, cinfo);
 
   SequenceNumber smallest_snapshot;
   if (snapshots_.empty()) {
@@ -1067,9 +1324,12 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  uint64_t read_us = 0;
+  uint64_t write_us = 0;
 
   auto finish_output = [&]() {
     if (builder == nullptr) return;
+    const uint64_t finish_t0 = env_->NowMicros();
     CompactionState::Output* out = &outputs.back();
     out->file_size = 0;
     const uint64_t entries = builder->NumEntries();
@@ -1099,6 +1359,7 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
       // Merge outputs are freshly written: cache-warm on a real system.
       table_cache_->WarmTable(out->number, out->file_size);
     }
+    write_us += env_->NowMicros() - finish_t0;
   };
 
   auto open_output = [&]() -> Status {
@@ -1115,7 +1376,13 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     return s;
   };
 
-  for (input->SeekToFirst(); input->Valid() && status.ok(); input->Next()) {
+  const uint64_t loop_start_us = env_->NowMicros();
+  {
+    const uint64_t t0 = env_->NowMicros();
+    input->SeekToFirst();
+    read_us += env_->NowMicros() - t0;
+  }
+  while (input->Valid() && status.ok()) {
     Slice key = input->key();
 
     bool drop = false;
@@ -1156,6 +1423,7 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     }
 
     if (!drop) {
+      const uint64_t t0 = env_->NowMicros();
       if (builder == nullptr) {
         status = open_output();
         if (!status.ok()) break;
@@ -1166,6 +1434,13 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
       }
       outputs.back().largest.DecodeFrom(key);
       builder->Add(key, input->value());
+      write_us += env_->NowMicros() - t0;
+    }
+
+    {
+      const uint64_t t0 = env_->NowMicros();
+      input->Next();
+      read_us += env_->NowMicros() - t0;
     }
   }
 
@@ -1173,6 +1448,7 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     status = input->status();
   }
   finish_output();
+  const uint64_t loop_us = env_->NowMicros() - loop_start_us;
   delete input;
 
   if (status.ok()) {
@@ -1191,12 +1467,50 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     for (uint64_t frozen_number : reclaimable) {
       edit.RemoveFrozenFile(frozen_number);
     }
+    const uint64_t install_start_us = env_->NowMicros();
     status = versions_->LogAndApply(&edit);
-    if (status.ok() && stats_ != nullptr) {
-      stats_->Record(kLdcMerges);
-      stats_->Record(kCompactionReadBytes, target.file_size + slice_bytes);
-      stats_->Record(kCompactionWriteBytes, total_output_bytes);
-      stats_->Record(kLdcFrozenFilesReclaimed, reclaimable.size());
+    const uint64_t install_us = env_->NowMicros() - install_start_us;
+    if (status.ok()) {
+      if (stats_ != nullptr) {
+        stats_->Record(kLdcMerges);
+        stats_->Record(kCompactionReadBytes, target.file_size + slice_bytes);
+        stats_->Record(kCompactionWriteBytes, total_output_bytes);
+        stats_->Record(kLdcFrozenFilesReclaimed, reclaimable.size());
+      }
+      CompactionStats cstats;
+      cstats.micros = env_->NowMicros() - start_us;
+      cstats.read_micros = read_us;
+      cstats.write_micros = write_us;
+      cstats.merge_micros =
+          loop_us > read_us + write_us ? loop_us - read_us - write_us : 0;
+      cstats.install_micros = install_us;
+      // The slices are the data arriving from the upper levels; the lower
+      // file is the resident data being rewritten.
+      cstats.bytes_read_upper = slice_bytes;
+      cstats.bytes_read_lower = target.file_size;
+      cstats.bytes_written = total_output_bytes;
+      cstats.count = 1;
+      versions_->AddCompactionStats(level, cstats);
+
+      const uint64_t end_us = env_->NowMicros();
+      cinfo.num_output_files = static_cast<int>(outputs.size());
+      cinfo.bytes_written = total_output_bytes;
+      cinfo.micros = end_us;
+      cinfo.duration_micros = end_us - start_us;
+      NotifyCompactionEvent(true, cinfo);
+
+      LdcMergeInfo minfo;
+      minfo.db_name = dbname_;
+      minfo.level = level;
+      minfo.lower_file_number = lower_file_number;
+      minfo.num_slices = num_slices;
+      minfo.num_output_files = static_cast<int>(outputs.size());
+      minfo.bytes_read = target.file_size + slice_bytes;
+      minfo.bytes_written = total_output_bytes;
+      minfo.frozen_files_reclaimed = static_cast<int>(reclaimable.size());
+      minfo.micros = end_us;
+      minfo.duration_micros = end_us - start_us;
+      NotifyLdcMerge(minfo);
     }
   }
 
@@ -1318,9 +1632,41 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     compact->smallest_snapshot = snapshots_.oldest()->sequence_number();
   }
 
+  const uint64_t start_us = env_->NowMicros();
+  uint64_t bytes_upper = 0;
+  uint64_t bytes_lower = 0;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < compact->compaction->num_input_files(which); i++) {
+      const uint64_t sz = compact->compaction->input(which, i)->file_size;
+      if (which == 0) {
+        bytes_upper += sz;
+      } else {
+        bytes_lower += sz;
+      }
+    }
+  }
+
+  CompactionJobInfo info;
+  info.db_name = dbname_;
+  info.style = CompactionStyle::kUdc;
+  info.input_level = compact->compaction->level();
+  info.output_level = compact->compaction->level() + 1;
+  info.num_input_files = compact->compaction->num_input_files(0) +
+                         compact->compaction->num_input_files(1);
+  info.bytes_read = bytes_upper + bytes_lower;
+  info.micros = start_us;
+  NotifyCompactionEvent(false, info);
+
+  uint64_t read_us = 0;
+  uint64_t write_us = 0;
   Iterator* input = versions_->MakeInputIterator(compact->compaction);
 
-  input->SeekToFirst();
+  const uint64_t loop_start_us = env_->NowMicros();
+  {
+    const uint64_t t0 = env_->NowMicros();
+    input->SeekToFirst();
+    read_us += env_->NowMicros() - t0;
+  }
   Status status;
   ParsedInternalKey ikey;
   std::string current_user_key;
@@ -1352,7 +1698,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
         if (compact->builder != nullptr &&
             compact->builder->FileSize() >=
                 compact->compaction->MaxOutputFileSize()) {
+          const uint64_t t0 = env_->NowMicros();
           status = FinishCompactionOutputFile(compact, input);
+          write_us += env_->NowMicros() - t0;
           if (!status.ok()) {
             break;
           }
@@ -1379,6 +1727,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     }
 
     if (!drop) {
+      const uint64_t t0 = env_->NowMicros();
       // Open output file if necessary
       if (compact->builder == nullptr) {
         status = OpenCompactionOutputFile(compact);
@@ -1391,17 +1740,25 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       }
       compact->current_output()->largest.DecodeFrom(key);
       compact->builder->Add(key, input->value());
+      write_us += env_->NowMicros() - t0;
     }
 
-    input->Next();
+    {
+      const uint64_t t0 = env_->NowMicros();
+      input->Next();
+      read_us += env_->NowMicros() - t0;
+    }
   }
 
   if (status.ok() && compact->builder != nullptr) {
+    const uint64_t t0 = env_->NowMicros();
     status = FinishCompactionOutputFile(compact, input);
+    write_us += env_->NowMicros() - t0;
   }
   if (status.ok()) {
     status = input->status();
   }
+  const uint64_t loop_us = env_->NowMicros() - loop_start_us;
   delete input;
   input = nullptr;
 
@@ -1412,7 +1769,30 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
                      compact->compaction->TotalInputBytes());
       stats_->Record(kCompactionWriteBytes, compact->total_bytes);
     }
+    const uint64_t install_start_us = env_->NowMicros();
     status = InstallCompactionResults(compact);
+    const uint64_t install_us = env_->NowMicros() - install_start_us;
+
+    if (status.ok()) {
+      CompactionStats cstats;
+      cstats.micros = env_->NowMicros() - start_us;
+      cstats.read_micros = read_us;
+      cstats.write_micros = write_us;
+      cstats.merge_micros =
+          loop_us > read_us + write_us ? loop_us - read_us - write_us : 0;
+      cstats.install_micros = install_us;
+      cstats.bytes_read_upper = bytes_upper;
+      cstats.bytes_read_lower = bytes_lower;
+      cstats.bytes_written = compact->total_bytes;
+      cstats.count = 1;
+      versions_->AddCompactionStats(info.output_level, cstats);
+
+      info.num_output_files = static_cast<int>(compact->outputs.size());
+      info.bytes_written = compact->total_bytes;
+      info.micros = env_->NowMicros();
+      info.duration_micros = info.micros - start_us;
+      NotifyCompactionEvent(true, info);
+    }
   }
   return status;
 }
@@ -1497,12 +1877,16 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   if (imm != nullptr) imm->Ref();
   current->Ref();
 
+  PerfContext* perf = GetPerfContext();
+  perf->get_count++;
+  perf->last_get_hit_level = PerfContext::kHitNone;
+
   {
     LookupKey lkey(key, snapshot);
     if (mem->Get(lkey, value, &s)) {
-      // Done
+      perf->last_get_hit_level = PerfContext::kHitMemTable;
     } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-      // Done
+      perf->last_get_hit_level = PerfContext::kHitImmMemTable;
     } else {
       s = current->Get(options, lkey, value);
     }
@@ -1524,6 +1908,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {
   if (sim_ != nullptr) sim_->Pump();
+  GetPerfContext()->seek_count++;
   SequenceNumber latest_snapshot;
   Iterator* iter = NewInternalIterator(options, &latest_snapshot);
   return NewDBIterator(
@@ -1615,6 +2000,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         sim_->AdvanceMicros(1000.0, SimActivity::kCpu);
       }
       if (stats_ != nullptr) stats_->Record(kSlowdownMicros, 1000);
+      NotifyWriteStall(WriteStallCause::kL0SlowdownTrigger, 1000);
       allow_delay = false;  // Do not delay a single write more than once
       MaybeScheduleCompaction();
     } else if (!force &&
@@ -1636,9 +2022,11 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           break;
         }
       }
+      const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
-        stats_->Record(kStallMicros, NowMicros() - stall_start);
+        stats_->Record(kStallMicros, stall_us);
       }
+      NotifyWriteStall(WriteStallCause::kMemtableLimit, stall_us);
     } else if (options_.compaction_style != CompactionStyle::kTiered &&
                versions_->NumLevelFiles(0) >= options_.l0_stop_trigger) {
       // There are too many level-0 files.
@@ -1653,9 +2041,11 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           break;
         }
       }
+      const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
-        stats_->Record(kStallMicros, NowMicros() - stall_start);
+        stats_->Record(kStallMicros, stall_us);
       }
+      NotifyWriteStall(WriteStallCause::kL0StopTrigger, stall_us);
     } else {
       // Attempt to switch to a new memtable and trigger flush of old.
       assert(versions_->PrevLogNumber() == 0);
@@ -1722,20 +2112,124 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       return true;
     }
   } else if (in == "stats") {
+    // Built with size-checked snprintf into a std::string (the old fixed
+    // buffer silently truncated once the level table grew).
+    std::string result;
     char buf[200];
-    std::snprintf(buf, sizeof(buf),
-                  "                               Compactions\n"
-                  "Level  Files Size(MB)\n"
-                  "--------------------\n");
-    value->append(buf);
-    for (int level = 0; level < versions_->NumLevels(); level++) {
-      int files = versions_->NumLevelFiles(level);
-      if (files > 0 || versions_->NumLevelBytes(level) > 0) {
-        std::snprintf(buf, sizeof(buf), "%3d %8d %8.2f\n", level, files,
-                      versions_->NumLevelBytes(level) / 1048576.0);
-        value->append(buf);
+    int n = std::snprintf(buf, sizeof(buf),
+                          "                               Compactions\n"
+                          "Level  Files Size(MB) Frozen(MB)\n"
+                          "--------------------------------\n");
+    if (n > 0) result.append(buf, std::min(sizeof(buf) - 1, size_t(n)));
+    // Frozen bytes attributed to the level each file was frozen from.
+    uint64_t frozen_by_level[config::kMaxNumLevels] = {};
+    for (const auto& kvp : versions_->registry()->all_frozen()) {
+      const int l = kvp.second.origin_level;
+      if (l >= 0 && l < config::kMaxNumLevels) {
+        frozen_by_level[l] += kvp.second.file_size;
       }
     }
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      int files = versions_->NumLevelFiles(level);
+      if (files > 0 || versions_->NumLevelBytes(level) > 0 ||
+          frozen_by_level[level] > 0) {
+        n = std::snprintf(buf, sizeof(buf), "%3d %8d %8.2f %10.2f\n", level,
+                          files, versions_->NumLevelBytes(level) / 1048576.0,
+                          frozen_by_level[level] / 1048576.0);
+        if (n > 0) result.append(buf, std::min(sizeof(buf) - 1, size_t(n)));
+      }
+    }
+    *value = std::move(result);
+    return true;
+  } else if (in == "compaction-stats") {
+    std::string result;
+    char buf[256];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "Level Count Pick(us) Read(us) Merge(us) Write(us) Install(us) "
+        "Read(MB) Write(MB) W-Amp\n");
+    if (n > 0) result.append(buf, std::min(sizeof(buf) - 1, size_t(n)));
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      const CompactionStats& cs = versions_->compaction_stats(level);
+      if (cs.count == 0 && cs.micros == 0 && cs.pick_micros == 0) continue;
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "%5d %5llu %8llu %8llu %9llu %9llu %11llu %8.2f %9.2f %5.2f\n",
+          level, static_cast<unsigned long long>(cs.count),
+          static_cast<unsigned long long>(cs.pick_micros),
+          static_cast<unsigned long long>(cs.read_micros),
+          static_cast<unsigned long long>(cs.merge_micros),
+          static_cast<unsigned long long>(cs.write_micros),
+          static_cast<unsigned long long>(cs.install_micros),
+          (cs.bytes_read_upper + cs.bytes_read_lower) / 1048576.0,
+          cs.bytes_written / 1048576.0, cs.WriteAmplification());
+      if (n > 0) result.append(buf, std::min(sizeof(buf) - 1, size_t(n)));
+    }
+    n = std::snprintf(
+        buf, sizeof(buf),
+        "flushes: %llu (%llu bytes, %llu us), cumulative write-amp: %.2f\n",
+        static_cast<unsigned long long>(versions_->flush_count()),
+        static_cast<unsigned long long>(versions_->flush_bytes()),
+        static_cast<unsigned long long>(versions_->flush_micros()),
+        versions_->CumulativeWriteAmplification());
+    if (n > 0) result.append(buf, std::min(sizeof(buf) - 1, size_t(n)));
+    *value = std::move(result);
+    return true;
+  } else if (in == "cumulative-writeamp") {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  versions_->CumulativeWriteAmplification());
+    *value = buf;
+    return true;
+  } else if (in == "stats-json") {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("db", dbname_);
+    w.Key("levels");
+    w.BeginArray();
+    for (int level = 0; level < versions_->NumLevels(); level++) {
+      const CompactionStats& cs = versions_->compaction_stats(level);
+      w.BeginObject();
+      w.KV("level", level);
+      w.KV("files", versions_->NumLevelFiles(level));
+      w.KV("bytes", static_cast<uint64_t>(versions_->NumLevelBytes(level)));
+      w.KV("compactions", cs.count);
+      w.KV("write_amp", cs.WriteAmplification());
+      w.KV("bytes_read_upper", cs.bytes_read_upper);
+      w.KV("bytes_read_lower", cs.bytes_read_lower);
+      w.KV("bytes_written", cs.bytes_written);
+      w.Key("micros");
+      w.BeginObject();
+      w.KV("total", cs.micros);
+      w.KV("pick", cs.pick_micros);
+      w.KV("read", cs.read_micros);
+      w.KV("merge", cs.merge_micros);
+      w.KV("write", cs.write_micros);
+      w.KV("install", cs.install_micros);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.KV("cumulative_write_amp", versions_->CumulativeWriteAmplification());
+    w.Key("flush");
+    w.BeginObject();
+    w.KV("count", versions_->flush_count());
+    w.KV("bytes", versions_->flush_bytes());
+    w.KV("micros", versions_->flush_micros());
+    w.EndObject();
+    w.Key("frozen");
+    w.BeginObject();
+    w.KV("files", static_cast<uint64_t>(
+                      versions_->registry()->FrozenFileCount()));
+    w.KV("bytes", versions_->registry()->TotalFrozenBytes());
+    w.EndObject();
+    w.KV("slice_link_threshold", EffectiveSliceThreshold());
+    if (stats_ != nullptr) {
+      w.Key("statistics");
+      w.Raw(stats_->ToJson());
+    }
+    w.EndObject();
+    *value = w.str();
     return true;
   } else if (in == "sstables") {
     *value = versions_->current()->DebugString();
@@ -1762,9 +2256,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
 }
 
 void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
-  // Approximate by summing whole files whose ranges fall inside; this is
-  // coarse but sufficient for the library's users (space accounting is
-  // done via the "ldc.total-bytes" property).
+  // Approximate by summing whole files whose ranges overlap the query,
+  // plus the estimated bytes of every LDC slice link whose key range
+  // overlaps it (that data lives in frozen files, not in the live levels,
+  // but is still readable in the range). Coarse but sufficient for the
+  // library's users (space accounting is done via "ldc.total-bytes").
   Version* v = versions_->current();
   v->Ref();
   const Comparator* ucmp = internal_comparator_.user_comparator();
@@ -1776,6 +2272,15 @@ void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
         if (ucmp->Compare(f->smallest.user_key(), range[i].limit) >= 0)
           continue;
         total += f->file_size;
+      }
+    }
+    for (const auto& kvp : versions_->registry()->all_links()) {
+      for (const SliceLinkMeta& link : kvp.second) {
+        if (ucmp->Compare(link.largest.user_key(), range[i].start) < 0)
+          continue;
+        if (ucmp->Compare(link.smallest.user_key(), range[i].limit) >= 0)
+          continue;
+        total += link.estimated_bytes;
       }
     }
     sizes[i] = total;
@@ -1901,6 +2406,20 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   }
   if (s.ok()) {
     impl->RemoveObsoleteFiles();
+    // Register the reclaim observer only now: during manifest recovery the
+    // registry replays historical RemoveFrozenFile records, which must not
+    // fire events for files reclaimed in earlier incarnations.
+    impl->versions_->registry()->SetReclaimObserver(
+        [impl](const FrozenFileMeta& f) {
+          FrozenFileReclaimedInfo info;
+          info.db_name = impl->dbname_;
+          info.file_number = f.number;
+          info.file_size = f.file_size;
+          info.micros = impl->env_->NowMicros();
+          impl->NotifyFrozenFileReclaimed(info);
+        });
+    Log(impl->options_.info_log, "DB opened: %s (compaction style: %s)",
+        dbname.c_str(), CompactionStyleName(impl->options_.compaction_style));
     // LDC: merge triggers queued before the previous shutdown were only in
     // memory; rebuild them from the recovered link state so lower files at
     // or above T_s make progress without waiting for another link.

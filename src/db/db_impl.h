@@ -10,6 +10,7 @@
 #include "db/snapshot.h"
 #include "ldc/db.h"
 #include "ldc/env.h"
+#include "ldc/listener.h"
 
 namespace ldc {
 
@@ -133,6 +134,18 @@ class DBImpl : public DB {
   // Record one user operation for the adaptive-T_s controller (§III-B4).
   void ObserveOp(bool is_write);
 
+  // --- Event notification ------------------------------------------------
+  // Each helper fires the registered EventListeners and writes a line to
+  // Options::info_log. Durations are measured on Env::NowMicros() — the
+  // simulator's virtual clock does not advance during synchronous data
+  // work, so it cannot time the work itself.
+  void NotifyFlushEvent(bool completed, const FlushJobInfo& info);
+  void NotifyCompactionEvent(bool completed, const CompactionJobInfo& info);
+  void NotifyLdcLink(const LdcLinkInfo& info);
+  void NotifyLdcMerge(const LdcMergeInfo& info);
+  void NotifyFrozenFileReclaimed(const FrozenFileReclaimedInfo& info);
+  void NotifyWriteStall(WriteStallCause cause, uint64_t duration_micros);
+
   uint64_t NowMicros() const;
   void RecordBackgroundError(const Status& s);
 
@@ -142,6 +155,7 @@ class DBImpl : public DB {
   const InternalFilterPolicy internal_filter_policy_;
   const Options options_;  // options_.comparator == &internal_comparator_
   const bool owns_cache_;
+  const bool owns_info_log_;
   const std::string dbname_;
 
   TableCache* const table_cache_;

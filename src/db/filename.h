@@ -51,6 +51,12 @@ std::string LockFileName(const std::string& dbname);
 // The result will be prefixed with "dbname".
 std::string TempFileName(const std::string& dbname, uint64_t number);
 
+// Return the name of the info log file for "dbname".
+std::string InfoLogFileName(const std::string& dbname);
+
+// Return the name of the old info log file for "dbname".
+std::string OldInfoLogFileName(const std::string& dbname);
+
 // If filename is an ldc file, store the type of the file in *type.
 // The number encoded in the filename is stored in *number. If the
 // filename was successfully parsed, returns true. Else return false.

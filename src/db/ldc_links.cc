@@ -40,6 +40,9 @@ void LdcLinkRegistry::Apply(const VersionEdit& edit) {
     auto it = frozen_.find(number);
     assert(it == frozen_.end() || it->second.refs == 0);
     if (it != frozen_.end()) {
+      if (reclaim_observer_) {
+        reclaim_observer_(it->second);
+      }
       frozen_.erase(it);
     }
   }

@@ -7,8 +7,10 @@
 #define LDC_DB_LDC_LINKS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "db/version_edit.h"
@@ -73,6 +75,14 @@ class LdcLinkRegistry {
   // disk while in the frozen region).
   void AddLiveFiles(std::set<uint64_t>* live) const;
 
+  // Invoked (with the file's metadata) each time a frozen file leaves the
+  // frozen region because its last link was consumed. The DB registers this
+  // only after manifest recovery has finished, so historical reclaim records
+  // replayed from the manifest do not fire events.
+  void SetReclaimObserver(std::function<void(const FrozenFileMeta&)> observer) {
+    reclaim_observer_ = std::move(observer);
+  }
+
   const std::map<uint64_t, std::vector<SliceLinkMeta>>& all_links() const {
     return links_;
   }
@@ -86,6 +96,7 @@ class LdcLinkRegistry {
   // frozen file number -> metadata (refs == outstanding links).
   std::map<uint64_t, FrozenFileMeta> frozen_;
   uint64_t next_link_seq_ = 1;
+  std::function<void(const FrozenFileMeta&)> reclaim_observer_;
 };
 
 }  // namespace ldc

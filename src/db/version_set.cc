@@ -8,6 +8,7 @@
 #include "ldc/env.h"
 #include "ldc/iterator.h"
 #include "ldc/options.h"
+#include "ldc/perf_context.h"
 #include "ldc/statistics.h"
 #include "table/merger.h"
 #include "table/two_level_iterator.h"
@@ -402,6 +403,7 @@ bool Version::SearchFileGroup(const ReadOptions& options, FileMetaData* f,
       assert(frozen != nullptr);
       if (frozen == nullptr) continue;
       if (stats != nullptr) stats->Record(kSliceSourcesChecked);
+      GetPerfContext()->slice_sources_checked++;
       Status read_status =
           vset_->table_cache_->Get(options, frozen->number, frozen->file_size,
                                    ikey, &saver, SaveValue);
@@ -479,6 +481,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
         break;  // Keep searching deeper levels.
       case kFound:
         if (stats != nullptr) stats->Record(kGetHits);
+        GetPerfContext()->last_get_hit_level = 0;
         return Status::OK();
       case kDeleted:
         return Status::NotFound(Slice());
@@ -507,6 +510,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
     }
     if (SearchFileGroup(options, f, k, value, &s)) {
       if (stats != nullptr && s.ok()) stats->Record(kGetHits);
+      if (s.ok()) GetPerfContext()->last_get_hit_level = level;
       return s;
     }
   }
@@ -1166,6 +1170,39 @@ int64_t VersionSet::TotalLiveBytes() const {
     total += NumLevelBytes(level);
   }
   return total;
+}
+
+void CompactionStats::Add(const CompactionStats& c) {
+  micros += c.micros;
+  pick_micros += c.pick_micros;
+  read_micros += c.read_micros;
+  merge_micros += c.merge_micros;
+  write_micros += c.write_micros;
+  install_micros += c.install_micros;
+  bytes_read_upper += c.bytes_read_upper;
+  bytes_read_lower += c.bytes_read_lower;
+  bytes_written += c.bytes_written;
+  count += c.count;
+}
+
+void VersionSet::AddCompactionStats(int level, const CompactionStats& stats) {
+  assert(level >= 0 && level < config::kMaxNumLevels);
+  compaction_stats_[level].Add(stats);
+}
+
+void VersionSet::AddFlushStats(uint64_t bytes, uint64_t micros) {
+  flush_bytes_ += bytes;
+  flush_count_ += 1;
+  flush_micros_ += micros;
+}
+
+double VersionSet::CumulativeWriteAmplification() const {
+  if (flush_bytes_ == 0) return 0.0;
+  uint64_t total_written = flush_bytes_;
+  for (int level = 0; level < num_levels_; level++) {
+    total_written += compaction_stats_[level].bytes_written;
+  }
+  return static_cast<double>(total_written) / flush_bytes_;
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {

@@ -38,6 +38,34 @@ class Version;
 class VersionSet;
 class WritableFile;
 
+// Cumulative cost breakdown of the compaction work that wrote into one
+// level: where the time went (pick / read / merge-sort / write / install)
+// and how many bytes moved. Aggregated by the DB after every flush, UDC
+// compaction, tiered merge, and LDC merge; exported through the
+// "ldc.compaction-stats" and "ldc.stats-json" properties.
+struct CompactionStats {
+  uint64_t micros = 0;          // total job wall time
+  uint64_t pick_micros = 0;     // choosing inputs (PickCompaction / link scan)
+  uint64_t read_micros = 0;     // advancing the merged input iterator
+  uint64_t merge_micros = 0;    // key comparison / drop logic between I/Os
+  uint64_t write_micros = 0;    // building + syncing output tables
+  uint64_t install_micros = 0;  // LogAndApply of the resulting edit
+  uint64_t bytes_read_upper = 0;  // bytes ingested from the level above
+  uint64_t bytes_read_lower = 0;  // bytes re-read from this level
+  uint64_t bytes_written = 0;
+  uint64_t count = 0;  // number of jobs that wrote into this level
+
+  void Add(const CompactionStats& c);
+
+  // Bytes written per byte ingested from above — this level's contribution
+  // to write amplification. 0 while nothing has been ingested.
+  double WriteAmplification() const {
+    return bytes_read_upper == 0
+               ? 0.0
+               : static_cast<double>(bytes_written) / bytes_read_upper;
+  }
+};
+
 // Return the smallest index i such that files[i]->largest >= key.
 // Return files.size() if there is no such file.
 // REQUIRES: "files" contains a sorted list of non-overlapping files.
@@ -248,6 +276,28 @@ class VersionSet {
   // exposed for tests).
   void Finalize(Version* v);
 
+  // --- Observability ---
+
+  // Folds one finished job's cost breakdown into the cumulative stats of
+  // the level it wrote into.
+  void AddCompactionStats(int level, const CompactionStats& stats);
+
+  // Records one memtable flush (bytes of user data entering the tree).
+  void AddFlushStats(uint64_t bytes, uint64_t micros);
+
+  const CompactionStats& compaction_stats(int level) const {
+    assert(level >= 0 && level < config::kMaxNumLevels);
+    return compaction_stats_[level];
+  }
+  uint64_t flush_bytes() const { return flush_bytes_; }
+  uint64_t flush_count() const { return flush_count_; }
+  uint64_t flush_micros() const { return flush_micros_; }
+
+  // Total bytes written by flush + all compaction work divided by the bytes
+  // flushed into the tree: how many times the device rewrote each ingested
+  // byte (the paper's write-amplification metric, Fig. 7 / 12d).
+  double CumulativeWriteAmplification() const;
+
   LdcLinkRegistry* registry() { return &registry_; }
   const LdcLinkRegistry* registry() const { return &registry_; }
   TableCache* table_cache() const { return table_cache_; }
@@ -304,6 +354,12 @@ class VersionSet {
   // LDC frozen region + slice links (shared by all versions; every mutation
   // travels in a VersionEdit).
   LdcLinkRegistry registry_;
+
+  // Cumulative observability counters (in-memory only; reset on reopen).
+  CompactionStats compaction_stats_[config::kMaxNumLevels];
+  uint64_t flush_bytes_ = 0;
+  uint64_t flush_count_ = 0;
+  uint64_t flush_micros_ = 0;
 };
 
 // A Compaction encapsulates information about a UDC compaction.

@@ -1,8 +1,85 @@
 #include "ldc/env.h"
 
+#include <cstdio>
+#include <vector>
+
 namespace ldc {
 
 Env::~Env() = default;
+
+Logger::~Logger() = default;
+
+namespace {
+
+// Writes "<seconds>.<micros> <message>\n" records through a WritableFile,
+// flushing after every record so the LOG survives crashes. Timestamps come
+// from Env::NowMicros, so they are virtual (a counter) on the in-memory Env
+// and wall-clock on the POSIX Env.
+class FileLogger : public Logger {
+ public:
+  FileLogger(Env* env, WritableFile* file) : env_(env), file_(file) {}
+
+  ~FileLogger() override {
+    file_->Close();
+    delete file_;
+  }
+
+  void Logv(const char* format, std::va_list ap) override {
+    const uint64_t micros = env_->NowMicros();
+    char header[48];
+    int header_len =
+        std::snprintf(header, sizeof(header), "%llu.%06llu ",
+                      static_cast<unsigned long long>(micros / 1000000),
+                      static_cast<unsigned long long>(micros % 1000000));
+
+    // First try a stack buffer; fall back to the exact required size.
+    char stack_buf[512];
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int msg_len = std::vsnprintf(stack_buf, sizeof(stack_buf), format, ap_copy);
+    va_end(ap_copy);
+    if (msg_len < 0) return;
+
+    std::string record;
+    record.reserve(header_len + msg_len + 1);
+    record.append(header, header_len);
+    if (static_cast<size_t>(msg_len) < sizeof(stack_buf)) {
+      record.append(stack_buf, msg_len);
+    } else {
+      std::vector<char> heap_buf(msg_len + 1);
+      std::vsnprintf(heap_buf.data(), heap_buf.size(), format, ap);
+      record.append(heap_buf.data(), msg_len);
+    }
+    if (record.empty() || record.back() != '\n') record.push_back('\n');
+    file_->Append(record);
+    file_->Flush();
+  }
+
+ private:
+  Env* const env_;
+  WritableFile* const file_;
+};
+
+}  // namespace
+
+void Log(Logger* info_log, const char* format, ...) {
+  if (info_log == nullptr) return;
+  std::va_list ap;
+  va_start(ap, format);
+  info_log->Logv(format, ap);
+  va_end(ap);
+}
+
+Status NewFileLogger(Env* env, const std::string& fname, Logger** result) {
+  *result = nullptr;
+  WritableFile* file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  *result = new FileLogger(env, file);
+  return Status::OK();
+}
 
 Status Env::NewAppendableFile(const std::string& /*fname*/,
                               WritableFile** result) {

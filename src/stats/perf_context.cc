@@ -1,0 +1,37 @@
+#include "ldc/perf_context.h"
+
+#include <cstdio>
+
+namespace ldc {
+
+PerfContext* GetPerfContext() {
+  thread_local PerfContext ctx;
+  return &ctx;
+}
+
+void PerfContext::Reset() { *this = PerfContext(); }
+
+std::string PerfContext::ToString() const {
+  std::string result;
+  char buf[64];
+  auto append = [&](const char* name, uint64_t v) {
+    if (v == 0) return;
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu", result.empty() ? "" : ", ",
+                  name, static_cast<unsigned long long>(v));
+    result.append(buf);
+  };
+  append("block_read_count", block_read_count);
+  append("block_read_bytes", block_read_bytes);
+  append("block_cache_hit_count", block_cache_hit_count);
+  append("bloom_filter_checks", bloom_filter_checks);
+  append("bloom_filter_useful", bloom_filter_useful);
+  append("slice_sources_checked", slice_sources_checked);
+  append("get_count", get_count);
+  append("seek_count", seek_count);
+  std::snprintf(buf, sizeof(buf), "%slast_get_hit_level=%d",
+                result.empty() ? "" : ", ", last_get_hit_level);
+  result.append(buf);
+  return result;
+}
+
+}  // namespace ldc

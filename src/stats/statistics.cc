@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/histogram.h"
+#include "util/json.h"
 
 namespace ldc {
 
@@ -92,6 +93,39 @@ std::string Statistics::ToString() const {
     result.append(histograms_[i].ToString());
   }
   return result;
+}
+
+std::string Statistics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tickers");
+  w.BeginObject();
+  for (uint32_t i = 0; i < kTickerCount; i++) {
+    w.KV(kTickerNames[i], tickers_[i].load(std::memory_order_relaxed));
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
+       i++) {
+    const Histogram& h = histograms_[i];
+    if (h.Count() == 0) continue;
+    w.Key(kHistogramNames[i]);
+    w.BeginObject();
+    w.KV("count", h.Count());
+    w.KV("min", h.Min());
+    w.KV("max", h.Max());
+    w.KV("avg", h.Average());
+    w.KV("p50", h.Percentile(50.0));
+    w.KV("p90", h.Percentile(90.0));
+    w.KV("p95", h.Percentile(95.0));
+    w.KV("p99", h.Percentile(99.0));
+    w.KV("p999", h.Percentile(99.9));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace ldc

@@ -5,6 +5,7 @@
 #include "ldc/env.h"
 #include "ldc/filter_policy.h"
 #include "ldc/options.h"
+#include "ldc/perf_context.h"
 #include "ldc/sim.h"
 #include "ldc/statistics.h"
 #include "table/block.h"
@@ -173,6 +174,7 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
       if (cache_handle != nullptr) {
         block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
         if (stats != nullptr) stats->Record(kBlockCacheHits);
+        GetPerfContext()->block_cache_hit_count++;
       } else {
         s = ReadBlock(table->rep_->file, options, handle, &contents);
         if (s.ok()) {
@@ -182,12 +184,15 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
                                                &DeleteCachedBlock);
           }
           const uint64_t bytes = handle.size() + kBlockTrailerSize;
-          if (stats != nullptr) {
-            const bool background = sim != nullptr && sim->in_background();
-            if (!background) {
+          const bool background = sim != nullptr && sim->in_background();
+          if (!background) {
+            if (stats != nullptr) {
               stats->Record(kBlockReads);
               stats->Record(kUserReadBytes, bytes);
             }
+            PerfContext* perf = GetPerfContext();
+            perf->block_read_count++;
+            perf->block_read_bytes += bytes;
           }
           if (sim != nullptr) sim->ChargeForegroundRead(bytes);
         }
@@ -197,12 +202,15 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
       if (s.ok()) {
         block = new Block(contents);
         const uint64_t bytes = handle.size() + kBlockTrailerSize;
-        if (stats != nullptr) {
-          const bool background = sim != nullptr && sim->in_background();
-          if (!background) {
+        const bool background = sim != nullptr && sim->in_background();
+        if (!background) {
+          if (stats != nullptr) {
             stats->Record(kBlockReads);
             stats->Record(kUserReadBytes, bytes);
           }
+          PerfContext* perf = GetPerfContext();
+          perf->block_read_count++;
+          perf->block_read_bytes += bytes;
         }
         if (sim != nullptr) sim->ChargeForegroundRead(bytes);
       }
@@ -243,9 +251,11 @@ Status Table::InternalGet(const ReadOptions& options, const Slice& k,
     Statistics* stats = rep_->options.statistics;
     if (filter != nullptr && handle.DecodeFrom(&handle_value).ok()) {
       if (stats != nullptr) stats->Record(kBloomChecks);
+      GetPerfContext()->bloom_filter_checks++;
       if (!filter->KeyMayMatch(handle.offset(), k)) {
         // Not found
         if (stats != nullptr) stats->Record(kBloomUseful);
+        GetPerfContext()->bloom_filter_useful++;
       } else {
         Iterator* block_iter = BlockReader(this, options, iiter->value());
         block_iter->Seek(k);

@@ -1,0 +1,120 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ldc {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::AppendEscaped(const std::string& s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\r':
+        out_.append("\\r");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  first_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& name) {
+  MaybeComma();
+  AppendEscaped(name);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_.append(buf);
+}
+
+void JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_.append(buf);
+}
+
+void JsonWriter::Value(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {
+    out_.append("null");  // JSON has no inf/nan
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_.append(v ? "true" : "false");
+}
+
+void JsonWriter::Value(const std::string& v) {
+  MaybeComma();
+  AppendEscaped(v);
+}
+
+void JsonWriter::Raw(const std::string& json) {
+  MaybeComma();
+  out_.append(json);
+}
+
+}  // namespace ldc

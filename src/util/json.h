@@ -1,0 +1,61 @@
+// A minimal streaming JSON writer for the observability exports
+// (Statistics::ToJson, the "ldc.stats-json" property, BENCH_*.json).
+// Handles comma placement and string escaping; the caller is responsible
+// for balancing Begin/End calls.
+
+#ifndef LDC_UTIL_JSON_H_
+#define LDC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldc {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object key; must be followed by a value or Begin* call.
+  void Key(const std::string& name);
+
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v);
+  void Value(bool v);
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(const std::string& v);
+
+  // Appends `json` verbatim as the next value; it must itself be a valid
+  // JSON document (used to embed pre-rendered sub-documents).
+  void Raw(const std::string& json);
+
+  // Convenience: Key(name) + Value(v).
+  template <typename T>
+  void KV(const std::string& name, T v) {
+    Key(name);
+    Value(v);
+  }
+
+  // The accumulated document. Call after the outermost End*.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(const std::string& s);
+
+  std::string out_;
+  // One entry per open container: true until the first element is emitted.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ldc
+
+#endif  // LDC_UTIL_JSON_H_

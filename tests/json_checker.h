@@ -1,0 +1,199 @@
+// A tiny recursive-descent JSON reader for validating the observability
+// exports in tests (Statistics::ToJson, "ldc.stats-json", BENCH_*.json).
+// Not a general-purpose parser: no \uXXXX decoding beyond skipping, numbers
+// parsed with strtod. Parse() returns false on any malformed input.
+
+#ifndef LDC_TESTS_JSON_CHECKER_H_
+#define LDC_TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldc {
+namespace testjson {
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return type == kObject && object.count(key) > 0;
+  }
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue kMissing;
+    auto it = object.find(key);
+    return it == object.end() ? kMissing : it->second;
+  }
+  const JsonValue& operator[](size_t i) const {
+    static const JsonValue kMissing;
+    return (type == kArray && i < array.size()) ? array[i] : kMissing;
+  }
+};
+
+class JsonParser {
+ public:
+  // Parses `input` into `*out`; returns false on malformed JSON or
+  // trailing garbage.
+  static bool Parse(const std::string& input, JsonValue* out) {
+    JsonParser p(input);
+    if (!p.ParseValue(out)) return false;
+    p.SkipSpace();
+    return p.pos_ == input.size();
+  }
+
+ private:
+  explicit JsonParser(const std::string& input) : in_(input) {}
+
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (in_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= in_.size() || in_[pos_] != '"') return false;
+    pos_++;
+    out->clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= in_.size()) return false;
+        char esc = in_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > in_.size()) return false;
+            pos_ += 4;  // validated length only; tests use ASCII
+            out->push_back('?');
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= in_.size()) return false;
+    char c = in_[pos_];
+    if (c == '{') {
+      pos_++;
+      out->type = JsonValue::kObject;
+      SkipSpace();
+      if (pos_ < in_.size() && in_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipSpace();
+        if (pos_ >= in_.size() || in_[pos_] != ':') return false;
+        pos_++;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object[key] = std::move(value);
+        SkipSpace();
+        if (pos_ >= in_.size()) return false;
+        if (in_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        if (in_[pos_] == '}') {
+          pos_++;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      pos_++;
+      out->type = JsonValue::kArray;
+      SkipSpace();
+      if (pos_ < in_.size() && in_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipSpace();
+        if (pos_ >= in_.size()) return false;
+        if (in_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        if (in_[pos_] == ']') {
+          pos_++;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->type = JsonValue::kBool;
+      out->bool_value = true;
+      return Literal("true", 4);
+    }
+    if (c == 'f') {
+      out->type = JsonValue::kBool;
+      out->bool_value = false;
+      return Literal("false", 5);
+    }
+    if (c == 'n') {
+      out->type = JsonValue::kNull;
+      return Literal("null", 4);
+    }
+    // Number.
+    const char* start = in_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return false;
+    out->type = JsonValue::kNumber;
+    out->number = v;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testjson
+}  // namespace ldc
+
+#endif  // LDC_TESTS_JSON_CHECKER_H_
