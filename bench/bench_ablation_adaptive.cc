@@ -59,7 +59,8 @@ double RunPhases(const Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Ablation", "self-adaptive SliceLink threshold "
                                "(phase-changing workload WH->RH->WH)",

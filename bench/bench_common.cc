@@ -3,11 +3,58 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
 
+#include "util/histogram.h"
 #include "util/json.h"
 
 namespace ldc {
 namespace bench {
+
+namespace {
+
+int g_bench_threads = 1;
+
+// Wall-clock mode Env: in-memory files, but real background threads and the
+// POSIX clock. Forwarding NowMicros matters — stall and latency histograms
+// would otherwise be measured on the MemEnv's counter clock.
+class ThreadedMemEnv : public EnvWrapper {
+ public:
+  explicit ThreadedMemEnv(Env* mem) : EnvWrapper(mem) {}
+
+  void Schedule(void (*fn)(void*), void* arg) override {
+    Env::Default()->Schedule(fn, arg);
+  }
+  void StartThread(void (*fn)(void*), void* arg) override {
+    Env::Default()->StartThread(fn, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    Env::Default()->SleepForMicroseconds(micros);
+  }
+  uint64_t NowMicros() override { return Env::Default()->NowMicros(); }
+};
+
+}  // namespace
+
+void InitBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const int n = std::atoi(arg + 10);
+      if (n < 1) {
+        std::fprintf(stderr, "fatal: --threads must be >= 1 (got %s)\n",
+                     arg + 10);
+        std::exit(2);
+      }
+      g_bench_threads = n;
+    } else {
+      std::fprintf(stderr, "fatal: unknown flag %s (supported: --threads=N)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+}
 
 uint64_t ScaledOps(uint64_t base) {
   const char* scale = std::getenv("LDCKV_BENCH_SCALE");
@@ -21,6 +68,7 @@ BenchParams DefaultBenchParams() {
   BenchParams params;
   params.num_ops = ScaledOps(params.num_ops);
   params.key_space = ScaledOps(params.key_space);
+  params.threads = g_bench_threads;
   return params;
 }
 
@@ -33,13 +81,16 @@ BenchDb::BenchDb(const BenchParams& params)
                          ? NewBloomFilterPolicy(params.bloom_bits_per_key)
                          : nullptr),
       block_cache_(NewLRUCache(params.block_cache_size)) {
+  if (params.threads > 1) {
+    threaded_env_ = std::make_unique<ThreadedMemEnv>(env_.get());
+  }
   Options options;
   options.block_cache = block_cache_.get();
   // Scaled runs use small SSTables, so file counts can exceed LevelDB's
   // default handle budget; keep every table open (the paper's testbed has
   // 2-MB files and never hits this).
   options.max_open_files = 50000;
-  options.env = env_.get();
+  options.env = threaded_env_ != nullptr ? threaded_env_.get() : env_.get();
   options.create_if_missing = true;
   options.compaction_style = params.style;
   options.write_buffer_size = params.write_buffer_size;
@@ -51,7 +102,9 @@ BenchDb::BenchDb(const BenchParams& params)
   options.frozen_space_limit_ratio = params.frozen_space_limit_ratio;
   options.filter_policy = filter_policy_.get();
   options.statistics = stats_.get();
-  options.sim = sim_.get();
+  // Wall-clock (multi-threaded) runs drop the simulator: the virtual device
+  // timeline is single-threaded by construction.
+  options.sim = params.threads > 1 ? nullptr : sim_.get();
 
   DB* raw = nullptr;
   Status s = DB::Open(options, "/benchdb", &raw);
@@ -61,8 +114,8 @@ BenchDb::BenchDb(const BenchParams& params)
     std::abort();
   }
   db_.reset(raw);
-  driver_ = std::make_unique<WorkloadDriver>(db_.get(), sim_.get(),
-                                             stats_.get());
+  driver_ = std::make_unique<WorkloadDriver>(
+      db_.get(), params.threads > 1 ? nullptr : sim_.get(), stats_.get());
 }
 
 BenchDb::~BenchDb() = default;
@@ -77,7 +130,45 @@ WorkloadResult BenchDb::RunWorkload(WorkloadSpec spec) {
   }
   // The measured phase starts with clean counters.
   stats_->Reset();
-  return driver_->Run(spec);
+  if (params_.threads <= 1) {
+    return driver_->Run(spec);
+  }
+
+  // Wall-clock mode: split the op budget across N closed-loop clients, each
+  // with its own driver (drivers keep per-run state) but one shared DB.
+  const int n = params_.threads;
+  std::vector<WorkloadResult> partials(n);
+  std::vector<std::thread> clients;
+  const uint64_t start_us = Env::Default()->NowMicros();
+  for (int t = 0; t < n; t++) {
+    WorkloadSpec sub = spec;
+    sub.num_ops = spec.num_ops / n +
+                  (static_cast<uint64_t>(t) < spec.num_ops % n ? 1 : 0);
+    sub.preload_keys = 0;  // Preload already ran once, above.
+    sub.seed = spec.seed + 0x9e3779b9ull * static_cast<uint64_t>(t + 1);
+    clients.emplace_back([this, sub, &partials, t] {
+      WorkloadDriver client(db_.get(), nullptr, stats_.get());
+      partials[t] = client.Run(sub);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  WorkloadResult total;
+  total.name = spec.name;
+  for (const WorkloadResult& r : partials) {
+    total.ops += r.ops;
+    total.writes += r.writes;
+    total.reads += r.reads;
+    total.scans += r.scans;
+    total.hits += r.hits;
+    if (total.status.ok() && !r.status.ok()) total.status = r.status;
+  }
+  total.elapsed_micros = Env::Default()->NowMicros() - start_us;
+  total.throughput_ops_per_sec =
+      total.elapsed_micros > 0
+          ? 1e6 * static_cast<double>(total.ops) / total.elapsed_micros
+          : 0;
+  return total;
 }
 
 const std::vector<LatencySample>& BenchDb::latency_timeline() const {
@@ -125,6 +216,7 @@ void ExportBenchJson(const std::string& tag, BenchDb& bench) {
   w.Key("params");
   w.BeginObject();
   w.KV("style", StyleName(p.style));
+  w.KV("threads", p.threads);
   w.KV("num_ops", p.num_ops);
   w.KV("key_space", p.key_space);
   w.KV("value_size", static_cast<uint64_t>(p.value_size));
@@ -133,6 +225,19 @@ void ExportBenchJson(const std::string& tag, BenchDb& bench) {
   w.KV("fan_out", p.fan_out);
   w.KV("slice_link_threshold", p.slice_link_threshold);
   w.KV("zipf_s", p.zipf_s);
+  w.EndObject();
+  // Write-stall summary, surfaced at the top level so stall regressions are
+  // greppable without digging into the full histogram dump below.
+  const Histogram& stall =
+      bench.stats()->GetHistogram(OpHistogram::kWriteStallUs);
+  w.Key("write_stall_us");
+  w.BeginObject();
+  w.KV("count", static_cast<uint64_t>(stall.Count()));
+  w.KV("p50", stall.Percentile(50.0));
+  w.KV("p95", stall.Percentile(95.0));
+  w.KV("p99", stall.Percentile(99.0));
+  w.KV("p999", stall.Percentile(99.9));
+  w.KV("max", stall.Max());
   w.EndObject();
   std::string stats_json;
   if (bench.db()->GetProperty("ldc.stats-json", &stats_json)) {

@@ -30,6 +30,11 @@ namespace bench {
 
 struct BenchParams {
   CompactionStyle style = CompactionStyle::kUdc;
+  // Number of concurrent client threads (--threads=N). 1 (the default) runs
+  // the deterministic single-threaded simulator harness; N > 1 switches to
+  // wall-clock mode: no simulator, real POSIX background threads, and the
+  // requested number of closed-loop clients sharing one DB.
+  int threads = 1;
   uint64_t num_ops = 60000;
   uint64_t key_space = 60000;
   size_t value_size = 256;
@@ -51,7 +56,13 @@ struct BenchParams {
   SsdModel ssd;
 };
 
-// Default parameters, scaled by the LDCKV_BENCH_SCALE environment variable.
+// Parses shared command-line flags (currently --threads=N). Call at the top
+// of every bench main; exits with an error on unknown flags. Parsed values
+// are applied by DefaultBenchParams().
+void InitBenchFlags(int argc, char** argv);
+
+// Default parameters, scaled by the LDCKV_BENCH_SCALE environment variable
+// and the flags captured by InitBenchFlags.
 BenchParams DefaultBenchParams();
 
 // Applies LDCKV_BENCH_SCALE to an op count.
@@ -84,6 +95,9 @@ class BenchDb {
  private:
   const BenchParams params_;
   std::unique_ptr<Env> env_;
+  // In wall-clock mode (threads > 1): forwards file ops to env_ but
+  // scheduling and the clock to the POSIX Env.
+  std::unique_ptr<Env> threaded_env_;
   std::unique_ptr<SimContext> sim_;
   std::unique_ptr<Statistics> stats_;
   std::unique_ptr<const FilterPolicy> filter_policy_;

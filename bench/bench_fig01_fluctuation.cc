@@ -68,7 +68,8 @@ void RunTimeline(CompactionStyle style, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Fig. 1", "latency fluctuation caused by batched writing",
                    params);

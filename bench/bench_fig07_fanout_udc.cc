@@ -13,7 +13,8 @@
 using namespace ldc;
 using namespace ldc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams base = DefaultBenchParams();
   PrintBenchHeader("Fig. 7", "tuning UDC fan-out cannot fix amplification",
                    base);

@@ -37,7 +37,8 @@ Histogram RunAndCollect(CompactionStyle style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Fig. 8", "P90 ~ P99.99 tail latency, UDC vs LDC", params);
 

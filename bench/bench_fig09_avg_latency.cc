@@ -39,7 +39,8 @@ double RunAvgLatency(CompactionStyle style, const std::string& workload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Fig. 9", "average latency per workload, UDC vs LDC",
                    params);

@@ -61,7 +61,8 @@ double Delta(double ldc, double udc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Fig. 10", "UDC vs LDC: throughput and compaction I/O",
                    params);

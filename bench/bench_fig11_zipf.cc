@@ -13,7 +13,8 @@
 using namespace ldc;
 using namespace ldc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams base = DefaultBenchParams();
   PrintBenchHeader("Fig. 11", "uniform vs Zipf distributions (RWB)", base);
 

@@ -41,7 +41,8 @@ RunOutput RunOne(const BenchParams& params, const std::string& tag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams base = DefaultBenchParams();
   PrintBenchHeader("Fig. 12",
                    "SliceLink threshold, fan-out and bloom-size sweeps (RWB)",

@@ -50,7 +50,8 @@ uint64_t MeasureFilterBytes(int bits_per_key, int num_keys) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams base = DefaultBenchParams();
   base.block_cache_size = 2 * 1024 * 1024;  // force reads to the device
   PrintBenchHeader("Fig. 13", "bloom size vs block reads (read-only)", base);

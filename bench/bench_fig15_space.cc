@@ -11,7 +11,8 @@
 using namespace ldc;
 using namespace ldc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams base = DefaultBenchParams();
   PrintBenchHeader("Fig. 15", "space consumption, UDC vs LDC (RWB)", base);
 

@@ -61,7 +61,8 @@ EngineResult RunEngine(const char* label, CompactionStyle style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   PrintBenchHeader("Motivation (SS I/V)",
                    "lazy compaction trades tail latency for throughput; "

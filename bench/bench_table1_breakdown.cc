@@ -17,7 +17,8 @@
 using namespace ldc;
 using namespace ldc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
   BenchParams params = DefaultBenchParams();
   params.style = CompactionStyle::kUdc;
   PrintBenchHeader("Table I", "most time-consuming modules during inserts",

@@ -42,10 +42,15 @@ struct Range {
 
 // A DB is a persistent ordered map from keys to values.
 //
-// Thread-compatibility: when driven by the discrete-event simulator
-// (Options::sim != nullptr) a DB must be used from a single thread —
-// that is what makes simulation runs reproducible. Without a simulator
-// the DB may be shared by multiple threads with external synchronization.
+// Thread-safety: without a simulator a DB is safe for concurrent access
+// from multiple threads without external synchronization — concurrent
+// writers are group-committed (one WAL append per batch group), flushes
+// and compactions run on Env::Schedule background threads, and writers
+// that outrun compaction are throttled (slowdown/stop stalls). When
+// driven by the discrete-event simulator (Options::sim != nullptr) a DB
+// must be used from a single thread — that is what makes simulation runs
+// bit-for-bit reproducible. See docs/CONCURRENCY.md for the internal
+// locking protocol.
 class DB {
  public:
   // Open the database with the specified "name".

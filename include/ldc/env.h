@@ -104,6 +104,97 @@ class Env {
   // Returns the number of micro-seconds since some fixed point in time.
   // Only useful for computing deltas of time.
   virtual uint64_t NowMicros() = 0;
+
+  // Arrange to run "(*fn)(arg)" once in a background thread.
+  //
+  // "fn" may run in an unspecified thread. Multiple functions added to the
+  // same Env may run concurrently in different threads, i.e. the caller may
+  // not assume that background work items are serialized.
+  //
+  // The default implementation (used by the deterministic in-memory Env and
+  // any other Env that does not override it) runs "(*fn)(arg)" inline,
+  // before returning. Callers must therefore not hold locks that "fn" will
+  // acquire when calling Schedule. PosixEnv overrides this with a fixed
+  // pool of background threads.
+  virtual void Schedule(void (*fn)(void* arg), void* arg);
+
+  // Start a new thread, invoking "(*fn)(arg)" within the new thread. When
+  // "fn" returns, the thread will be destroyed. The default implementation
+  // runs "(*fn)(arg)" inline (deterministic environments); PosixEnv starts
+  // a real detached thread.
+  virtual void StartThread(void (*fn)(void* arg), void* arg);
+
+  // Sleep/delay the calling thread for the prescribed number of
+  // micro-seconds. Deterministic environments advance their virtual clock
+  // instead of blocking.
+  virtual void SleepForMicroseconds(int micros);
+};
+
+// An implementation of Env that forwards all calls to another Env. May be
+// useful to clients who wish to override just part of the functionality of
+// another Env — e.g. in-memory files combined with real background threads.
+class EnvWrapper : public Env {
+ public:
+  // Initialize an EnvWrapper that delegates all calls to *t.
+  explicit EnvWrapper(Env* t) : target_(t) {}
+  ~EnvWrapper() override;
+
+  // Return the target to which this Env forwards all calls.
+  Env* target() const { return target_; }
+
+  Status NewSequentialFile(const std::string& f,
+                           SequentialFile** r) override {
+    return target_->NewSequentialFile(f, r);
+  }
+  Status NewRandomAccessFile(const std::string& f,
+                             RandomAccessFile** r) override {
+    return target_->NewRandomAccessFile(f, r);
+  }
+  Status NewWritableFile(const std::string& f, WritableFile** r) override {
+    return target_->NewWritableFile(f, r);
+  }
+  Status NewAppendableFile(const std::string& f, WritableFile** r) override {
+    return target_->NewAppendableFile(f, r);
+  }
+  bool FileExists(const std::string& f) override {
+    return target_->FileExists(f);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* r) override {
+    return target_->GetChildren(dir, r);
+  }
+  Status RemoveFile(const std::string& f) override {
+    return target_->RemoveFile(f);
+  }
+  Status CreateDir(const std::string& d) override {
+    return target_->CreateDir(d);
+  }
+  Status RemoveDir(const std::string& d) override {
+    return target_->RemoveDir(d);
+  }
+  Status GetFileSize(const std::string& f, uint64_t* s) override {
+    return target_->GetFileSize(f, s);
+  }
+  Status RenameFile(const std::string& s, const std::string& t) override {
+    return target_->RenameFile(s, t);
+  }
+  Status LockFile(const std::string& f, FileLock** l) override {
+    return target_->LockFile(f, l);
+  }
+  Status UnlockFile(FileLock* l) override { return target_->UnlockFile(l); }
+  uint64_t NowMicros() override { return target_->NowMicros(); }
+  void Schedule(void (*fn)(void*), void* arg) override {
+    target_->Schedule(fn, arg);
+  }
+  void StartThread(void (*fn)(void*), void* arg) override {
+    target_->StartThread(fn, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    target_->SleepForMicroseconds(micros);
+  }
+
+ private:
+  Env* target_;
 };
 
 // A file abstraction for reading sequentially through a file.

@@ -181,8 +181,11 @@ struct Options {
 
   // If non-null, run against the discrete-event SSD simulator: background
   // flush/compaction is scheduled on the simulated device timeline and all
-  // foreground I/O advances the virtual clock. If null, background work
-  // runs synchronously at the trigger point against the real Env.
+  // foreground I/O advances the virtual clock (single-threaded,
+  // deterministic). If null, background work runs through Env::Schedule —
+  // a real thread pool on the POSIX Env, inline on the calling thread for
+  // Envs that keep the default Schedule (e.g. the in-memory Env). See
+  // docs/CONCURRENCY.md.
   SimContext* sim = nullptr;
 };
 

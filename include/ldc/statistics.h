@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace ldc {
@@ -62,6 +63,7 @@ enum class OpHistogram : uint32_t {
   kReadLatencyUs,
   kScanLatencyUs,
   kCompactionDurationUs,
+  kWriteStallUs,  // duration of individual write stalls (slowdown + stop)
   kHistogramCount
 };
 
@@ -83,9 +85,14 @@ class Statistics {
     return tickers_[ticker].load(std::memory_order_relaxed);
   }
 
+  // Thread-safe: concurrent writer/reader client threads record latencies
+  // into the same histogram (guarded by an internal mutex).
   void RecordLatency(OpHistogram histogram, double micros);
 
-  // Read access to a latency histogram.
+  // Read access to a latency histogram. The reference stays valid for the
+  // lifetime of the Statistics object, but reading it concurrently with
+  // RecordLatency is racy — quiesce the DB (WaitForIdle / join client
+  // threads) before inspecting histograms.
   const Histogram& GetHistogram(OpHistogram histogram) const;
 
   // Reset all tickers and histograms to zero.
@@ -102,6 +109,7 @@ class Statistics {
 
  private:
   std::atomic<uint64_t> tickers_[kTickerCount];
+  mutable std::mutex histogram_mutex_;  // guards histograms_ mutation
   std::unique_ptr<Histogram[]> histograms_;
 };
 

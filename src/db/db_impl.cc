@@ -130,6 +130,20 @@ struct DBImpl::CompactionState {
   uint64_t total_bytes;
 };
 
+// Information kept for every waiting writer in the group-commit queue.
+// The front of writers_ is the leader: it builds the batch group, appends
+// one WAL record for everyone and applies the group to the memtable while
+// the mutex is released; followers wait on their own condition variable.
+struct DBImpl::Writer {
+  Writer() : batch(nullptr), sync(false), done(false) {}
+
+  Status status;
+  WriteBatch* batch;
+  bool sync;
+  bool done;
+  std::condition_variable_any cv;
+};
+
 Options SanitizeOptions(const std::string& dbname,
                         const InternalKeyComparator* icmp,
                         const InternalFilterPolicy* ipolicy,
@@ -177,13 +191,15 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       dbname_(dbname),
       table_cache_(new TableCache(dbname_, options_, TableCacheSize(options_))),
       db_lock_(nullptr),
+      shutting_down_(false),
       mem_(nullptr),
       imm_(nullptr),
+      has_imm_(false),
       logfile_(nullptr),
       logfile_number_(0),
       log_(nullptr),
-      background_job_pending_(false),
-      in_background_work_(false),
+      tmp_batch_(new WriteBatch),
+      background_compaction_scheduled_(false),
       window_writes_(0),
       window_reads_(0),
       smoothed_write_fraction_(0.5),
@@ -195,15 +211,26 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
 }
 
 DBImpl::~DBImpl() {
-  // Finish any scheduled-but-unapplied background work so the on-disk state
-  // is consistent with the manifest.
+  // Finish any scheduled-but-unapplied simulated background work so the
+  // on-disk state is consistent with the manifest (the simulator is single
+  // threaded, so Drain leaves no job outstanding).
   if (sim_ != nullptr) {
     sim_->Drain();
   }
 
+  // Signal shutdown and wait for any in-flight background call to notice it
+  // and finish. Job bodies poll shutting_down_ at safe points and bail out.
+  mutex_.lock();
+  shutting_down_.store(true, std::memory_order_release);
+  while (background_compaction_scheduled_) {
+    background_work_finished_signal_.wait(mutex_);
+  }
+  mutex_.unlock();
+
   delete versions_;
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
+  delete tmp_batch_;
   delete log_;
   delete logfile_;
   delete table_cache_;
@@ -310,9 +337,13 @@ void DBImpl::RemoveObsoleteFiles() {
     }
   }
 
+  // While deleting all files, foreground threads can continue: everything
+  // in files_to_delete is already gone from the live set.
+  mutex_.unlock();
   for (const std::string& filename : files_to_delete) {
     env_->RemoveFile(dbname_ + "/" + filename);
   }
+  mutex_.lock();
 }
 
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
@@ -509,7 +540,14 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     NotifyFlushEvent(false, info);
   }
 
-  Status s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
+  Status s;
+  {
+    // The table build is the expensive part; run it with the lock released
+    // so foreground reads and writes proceed while the flush is in flight.
+    mutex_.unlock();
+    s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
+    mutex_.lock();
+  }
   delete iter;
   pending_outputs_.erase(meta.number);
 
@@ -554,6 +592,10 @@ Status DBImpl::CompactMemTable() {
   Status s = WriteLevel0Table(imm_, &edit, base);
   base->Unref();
 
+  if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::IOError("Deleting DB during memtable compaction");
+  }
+
   // Replace immutable memtable with the generated Table
   if (s.ok()) {
     edit.SetPrevLogNumber(0);
@@ -565,6 +607,7 @@ Status DBImpl::CompactMemTable() {
     // Commit to the new state
     imm_->Unref();
     imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
     RemoveObsoleteFiles();
   } else {
     RecordBackgroundError(s);
@@ -598,6 +641,11 @@ void DBImpl::ObserveOp(bool is_write) {
 }
 
 int DBImpl::EffectiveSliceThreshold() const {
+  std::lock_guard<std::mutex> l(mutex_);
+  return EffectiveSliceThresholdLocked();
+}
+
+int DBImpl::EffectiveSliceThresholdLocked() const {
   const int base = options_.slice_link_threshold > 0
                        ? options_.slice_link_threshold
                        : options_.fan_out;
@@ -752,31 +800,163 @@ void DBImpl::NotifyWriteStall(WriteStallCause cause,
 // ---------------------------------------------------------------------------
 
 void DBImpl::MaybeScheduleCompaction() {
-  if (background_job_pending_ || in_background_work_ || !bg_error_.ok()) {
+  if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
     return;
   }
   if (sim_ != nullptr) {
-    ScheduleBackgroundWork();
-  } else {
-    while (ScheduleBackgroundWork()) {
-    }
+    // Simulation: register (at most) one job on the device timeline. The
+    // data work runs later, when a Pump/Wait/Drain call advances the
+    // virtual clock past the job's completion time.
+    ScheduleBackgroundWorkSim();
+    return;
   }
+  if (background_compaction_scheduled_) {
+    return;
+  }
+  // LDC's link phase is metadata-only, so it runs right here on the
+  // foreground path: level 0 drains instantly even when the device is busy
+  // with a merge. It is skipped while a background call is in flight (flag
+  // checked above) so the link registry never changes under a running
+  // merge; the background call runs it again between work units.
+  if (options_.compaction_style == CompactionStyle::kLdc) {
+    DoLdcLinkWork();
+  }
+  if (!HasPendingBackgroundWork()) {
+    return;
+  }
+  background_compaction_scheduled_ = true;
+  // Drop the mutex around the handoff: with the default inline Env,
+  // Schedule runs BackgroundCall (which takes the mutex) before returning.
+  mutex_.unlock();
+  env_->Schedule(&DBImpl::BGWork, this);
+  mutex_.lock();
 }
 
-bool DBImpl::ScheduleBackgroundWork() {
-  if (background_job_pending_ || !bg_error_.ok()) return false;
+bool DBImpl::HasPendingBackgroundWork() {
+  if (imm_ != nullptr) return true;
+  switch (options_.compaction_style) {
+    case CompactionStyle::kTiered: {
+      uint64_t total_bytes = 0;
+      return !PickTieredGroup(&total_bytes).empty();
+    }
+    case CompactionStyle::kLdc:
+      return !pending_merges_.empty();
+    case CompactionStyle::kUdc:
+      return versions_->NeedsCompaction();
+  }
+  return false;
+}
+
+void DBImpl::BGWork(void* db) {
+  reinterpret_cast<DBImpl*>(db)->BackgroundCall();
+}
+
+void DBImpl::BackgroundCall() {
+  mutex_.lock();
+  assert(background_compaction_scheduled_);
+  // Loop (rather than re-scheduling ourselves) so the inline Env cannot
+  // recurse and the thread pool is not churned between back-to-back jobs.
+  // Stalled writers are woken after every unit of work.
+  while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
+    if (!ExecuteOneBackgroundJob()) break;
+    background_work_finished_signal_.notify_all();
+  }
+  background_compaction_scheduled_ = false;
+  // A writer may have switched memtables after the loop drained but before
+  // the flag cleared; re-check so that work is not orphaned.
+  MaybeScheduleCompaction();
+  background_work_finished_signal_.notify_all();
+  mutex_.unlock();
+}
+
+bool DBImpl::ExecuteOneBackgroundJob() {
+  // 1. Flushing the immutable memtable has priority: user writes stall
+  //    behind it.
+  if (imm_ != nullptr) {
+    CompactMemTable();
+    return true;
+  }
+
+  const uint64_t start_us = NowMicros();
+  bool did_work = false;
+
+  if (options_.compaction_style == CompactionStyle::kTiered) {
+    // 2c. Lazy baseline: merge a tier of similarly-sized level-0 files.
+    uint64_t total_bytes = 0;
+    std::vector<uint64_t> group = PickTieredGroup(&total_bytes);
+    if (!group.empty()) {
+      Status s = DoTieredMerge(group);
+      if (!s.ok()) RecordBackgroundError(s);
+      did_work = true;
+    }
+  } else if (options_.compaction_style == CompactionStyle::kLdc) {
+    // 2a. LDC: run the (instant, metadata-only) link phase, then the next
+    //     queued merge if any lower file crossed T_s. Safe here: this is
+    //     the only background call, so no merge is concurrently in flight.
+    DoLdcLinkWork();
+    if (!pending_merges_.empty()) {
+      const uint64_t lower = pending_merges_.front();
+      pending_merges_.pop_front();
+      pending_merge_set_.erase(lower);
+      Status s = DoLdcMerge(lower);
+      if (!s.ok()) RecordBackgroundError(s);
+      did_work = true;
+    }
+  } else {
+    // 2b. UDC: pick a classic compaction. Trivial moves are pure metadata
+    //     and are applied instantly.
+    while (versions_->NeedsCompaction()) {
+      const uint64_t pick_start_us = env_->NowMicros();
+      Compaction* c = versions_->PickCompaction();
+      if (c == nullptr) break;
+      {
+        // Attribute the picking cost to the output level (count stays
+        // zero; only completed data work increments it).
+        CompactionStats pick_stats;
+        pick_stats.pick_micros = env_->NowMicros() - pick_start_us;
+        versions_->AddCompactionStats(c->level() + 1, pick_stats);
+      }
+      if (c->IsTrivialMove()) {
+        assert(c->num_input_files(0) == 1);
+        FileMetaData* f = c->input(0, 0);
+        c->edit()->RemoveFile(c->level(), f->number);
+        c->edit()->AddFile(c->level() + 1, f->number, f->file_size,
+                           f->smallest, f->largest);
+        Status s = versions_->LogAndApply(c->edit());
+        if (!s.ok()) {
+          RecordBackgroundError(s);
+        }
+        if (stats_ != nullptr) stats_->Record(kTrivialMoves);
+        delete c;
+        did_work = true;
+        continue;
+      }
+      BackgroundCompactionUdc(c);
+      did_work = true;
+      break;
+    }
+  }
+
+  if (did_work && stats_ != nullptr) {
+    stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
+                          static_cast<double>(NowMicros() - start_us));
+  }
+  return did_work;
+}
+
+bool DBImpl::ScheduleBackgroundWorkSim() {
+  if (background_compaction_scheduled_ || !bg_error_.ok() ||
+      shutting_down_.load(std::memory_order_acquire)) {
+    return false;
+  }
 
   auto start_job = [this](int kind, uint64_t arg, uint64_t read_bytes,
                           uint64_t write_bytes, SimActivity activity) {
-    background_job_pending_ = true;
-    if (sim_ != nullptr) {
-      sim_->ScheduleBackground(read_bytes, write_bytes, activity,
-                               [this, kind, arg]() {
-                                 RunBackgroundJob(kind, arg);
-                               });
-    } else {
-      RunBackgroundJob(kind, arg);
-    }
+    background_compaction_scheduled_ = true;
+    sim_->ScheduleBackground(read_bytes, write_bytes, activity,
+                             [this, kind, arg]() {
+                               RunBackgroundJob(kind, arg);
+                             });
   };
 
   // 1. Flushing the immutable memtable has priority: user writes stall
@@ -806,12 +986,11 @@ bool DBImpl::ScheduleBackgroundWork() {
     if (!pending_merges_.empty()) {
       const uint64_t lower = pending_merges_.front();
       uint64_t lower_size = 0;
-      for (int level = 0; level < versions_->NumLevels(); level++) {
-        for (FileMetaData* f : versions_->current()->files(level)) {
-          if (f->number == lower) {
-            lower_size = f->file_size;
-            break;
-          }
+      {
+        int level = -1;
+        FileMetaData* f = nullptr;
+        if (versions_->current()->FindFileByNumber(lower, &level, &f)) {
+          lower_size = f->file_size;
         }
       }
       const uint64_t slice_bytes = versions_->registry()->LinkedBytes(lower);
@@ -862,7 +1041,10 @@ bool DBImpl::ScheduleBackgroundWork() {
 }
 
 void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
-  in_background_work_ = true;
+  // Invoked by the simulator when the virtual clock passes the job's device
+  // completion time. The simulator's Pump/Wait/Drain entry points are only
+  // ever called with mutex_ released, so taking it here cannot deadlock.
+  mutex_.lock();
   const uint64_t start_us = NowMicros();
   switch (job_kind) {
     case kJobFlush: {
@@ -901,13 +1083,12 @@ void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
     stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
                           static_cast<double>(NowMicros() - start_us));
   }
-  in_background_work_ = false;
-  background_job_pending_ = false;
+  background_compaction_scheduled_ = false;
   // Chain the next unit of background work (a flush may have been blocked
   // behind this job, or a merge may be queued).
-  if (sim_ != nullptr) {
-    ScheduleBackgroundWork();
-  }
+  ScheduleBackgroundWorkSim();
+  background_work_finished_signal_.notify_all();
+  mutex_.unlock();
 }
 
 void DBImpl::BackgroundCompactionUdc(Compaction* c) {
@@ -959,13 +1140,19 @@ std::vector<uint64_t> DBImpl::PickTieredGroup(uint64_t* total_bytes) {
 }
 
 Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
+  // Entered with mutex_ held. Pin the base version so its file metadata
+  // stays valid while the merge loop runs with the lock released.
   Version* base = versions_->current();
+  base->Ref();
   std::vector<const FileMetaData*> inputs;
   std::set<uint64_t> wanted(file_numbers.begin(), file_numbers.end());
   for (FileMetaData* f : base->files(0)) {
     if (wanted.count(f->number)) inputs.push_back(f);
   }
-  if (inputs.size() < 2) return Status::OK();
+  if (inputs.size() < 2) {
+    base->Unref();
+    return Status::OK();
+  }
 
   ReadOptions read_options;
   read_options.verify_checksums = options_.paranoid_checks;
@@ -1012,6 +1199,10 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   FileMetaData out;
   out.number = versions_->NewFileNumber();
   pending_outputs_.insert(out.number);
+
+  // The merge loop reads immutable inputs and writes a fresh file; run it
+  // with the lock released so foreground operations proceed.
+  mutex_.unlock();
   WritableFile* outfile = nullptr;
   Status status =
       env_->NewWritableFile(TableFileName(dbname_, out.number), &outfile);
@@ -1029,7 +1220,17 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
     input->SeekToFirst();
     read_us += env_->NowMicros() - t0;
   }
-  while (input->Valid() && status.ok()) {
+  while (input->Valid() && status.ok() &&
+         !shutting_down_.load(std::memory_order_acquire)) {
+    // Give a waiting flush priority over the (long) merge loop.
+    if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
+      mutex_.lock();
+      if (imm_ != nullptr) {
+        CompactMemTable();
+        background_work_finished_signal_.notify_all();
+      }
+      mutex_.unlock();
+    }
     Slice key = input->key();
     bool drop = false;
     ParsedInternalKey ikey;
@@ -1068,6 +1269,9 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
       read_us += env_->NowMicros() - t0;
     }
   }
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("Deleting DB during compaction");
+  }
   if (status.ok()) status = input->status();
   delete input;
 
@@ -1091,6 +1295,7 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
     write_us += env_->NowMicros() - t0;
   }
   const uint64_t loop_us = env_->NowMicros() - loop_start_us;
+  mutex_.lock();
 
   if (status.ok()) {
     if (out.file_size > 0) {
@@ -1134,6 +1339,9 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
     }
   }
   pending_outputs_.erase(out.number);
+  // Unref before sweeping: while base is pinned, the files this merge just
+  // consumed still count as live and would survive the sweep.
+  base->Unref();
   if (status.ok()) {
     RemoveObsoleteFiles();
   }
@@ -1152,7 +1360,7 @@ void DBImpl::EnqueueLdcMerge(uint64_t lower_file_number) {
 
 bool DBImpl::DoLdcLinkWork() {
   bool changed = false;
-  const int threshold = EffectiveSliceThreshold();
+  const int threshold = EffectiveSliceThresholdLocked();
 
   // Frozen-space safety valve (§IV-J): if the frozen region has grown past
   // the configured fraction of live data, force the most-linked lower file
@@ -1236,29 +1444,30 @@ bool DBImpl::DoLdcLinkWork() {
 }
 
 Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
-  // Locate the lower file in the current version.
+  // Locate the lower file in the current version (O(1) via the version's
+  // file-number index rather than a scan over every level).
   Version* base = versions_->current();
   int level = -1;
-  FileMetaData target;
-  for (int l = 0; l < versions_->NumLevels() && level < 0; l++) {
-    for (FileMetaData* f : base->files(l)) {
-      if (f->number == lower_file_number) {
-        level = l;
-        target = *f;
-        break;
-      }
-    }
-  }
-  if (level < 0) {
+  FileMetaData* located = nullptr;
+  if (!base->FindFileByNumber(lower_file_number, &level, &located)) {
     // The file is gone (stale trigger); nothing to merge.
     return Status::OK();
   }
+  const FileMetaData target = *located;
 
+  // Pin the link state alongside the version: the maps behind this snapshot
+  // are immutable, so the slice metadata stays valid while the merge loop
+  // runs with the lock released. (No link work can run concurrently — the
+  // background slot is occupied by this merge — so the live registry and
+  // this snapshot agree for the whole merge.)
+  std::shared_ptr<const LdcLinkState> link_state =
+      versions_->registry()->snapshot();
   const std::vector<SliceLinkMeta>* links =
-      versions_->registry()->Links(lower_file_number);
+      link_state->Links(lower_file_number);
   if (links == nullptr || links->empty()) {
     return Status::OK();
   }
+  base->Ref();
 
   ReadOptions read_options;
   read_options.verify_checksums = options_.paranoid_checks;
@@ -1271,8 +1480,7 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
                                              target.file_size));
   uint64_t slice_bytes = 0;
   for (const SliceLinkMeta& link : *links) {
-    const FrozenFileMeta* frozen =
-        versions_->registry()->Frozen(link.frozen_file_number);
+    const FrozenFileMeta* frozen = link_state->Frozen(link.frozen_file_number);
     assert(frozen != nullptr);
     if (frozen == nullptr) continue;
     Iterator* raw = table_cache_->NewIterator(read_options, frozen->number,
@@ -1353,7 +1561,9 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     if (entries == 0 || out->file_size == 0) {
       // Empty output: drop it.
       env_->RemoveFile(TableFileName(dbname_, out->number));
+      mutex_.lock();
       pending_outputs_.erase(out->number);
+      mutex_.unlock();
       outputs.pop_back();
     } else {
       // Merge outputs are freshly written: cache-warm on a real system.
@@ -1365,8 +1575,10 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   auto open_output = [&]() -> Status {
     assert(builder == nullptr);
     CompactionState::Output out;
+    mutex_.lock();
     out.number = versions_->NewFileNumber();
     pending_outputs_.insert(out.number);
+    mutex_.unlock();
     outputs.push_back(out);
     std::string fname = TableFileName(dbname_, out.number);
     Status s = env_->NewWritableFile(fname, &outfile);
@@ -1376,13 +1588,26 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     return s;
   };
 
+  // Everything below until the install is I/O over immutable inputs (the
+  // pinned version's files and the pinned link snapshot); run it unlocked.
+  mutex_.unlock();
   const uint64_t loop_start_us = env_->NowMicros();
   {
     const uint64_t t0 = env_->NowMicros();
     input->SeekToFirst();
     read_us += env_->NowMicros() - t0;
   }
-  while (input->Valid() && status.ok()) {
+  while (input->Valid() && status.ok() &&
+         !shutting_down_.load(std::memory_order_acquire)) {
+    // Give a waiting flush priority over the (long) merge loop.
+    if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
+      mutex_.lock();
+      if (imm_ != nullptr) {
+        CompactMemTable();
+        background_work_finished_signal_.notify_all();
+      }
+      mutex_.unlock();
+    }
     Slice key = input->key();
 
     bool drop = false;
@@ -1444,12 +1669,16 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     }
   }
 
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("Deleting DB during compaction");
+  }
   if (status.ok()) {
     status = input->status();
   }
   finish_output();
   const uint64_t loop_us = env_->NowMicros() - loop_start_us;
   delete input;
+  mutex_.lock();
 
   if (status.ok()) {
     // Build the edit: replace the lower file with the merged outputs at the
@@ -1517,6 +1746,9 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   for (const CompactionState::Output& out : outputs) {
     pending_outputs_.erase(out.number);
   }
+  // Unref before sweeping: while base is pinned, the files this merge just
+  // consumed still count as live and would survive the sweep.
+  base->Unref();
   if (status.ok()) {
     RemoveObsoleteFiles();
   }
@@ -1546,8 +1778,12 @@ void DBImpl::CleanupCompaction(CompactionState* compact) {
 Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
   assert(compact != nullptr);
   assert(compact->builder == nullptr);
+  // Called from the unlocked merge loop; allocating the file number and
+  // shielding it from garbage collection needs the mutex.
+  mutex_.lock();
   uint64_t file_number = versions_->NewFileNumber();
   pending_outputs_.insert(file_number);
+  mutex_.unlock();
   CompactionState::Output out;
   out.number = file_number;
   out.smallest.Clear();
@@ -1661,6 +1897,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   uint64_t write_us = 0;
   Iterator* input = versions_->MakeInputIterator(compact->compaction);
 
+  // The compaction inputs are immutable and referenced via the compaction's
+  // pinned input version; the merge loop runs with the lock released.
+  mutex_.unlock();
   const uint64_t loop_start_us = env_->NowMicros();
   {
     const uint64_t t0 = env_->NowMicros();
@@ -1672,7 +1911,16 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
-  while (input->Valid()) {
+  while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
+    // Give a waiting flush priority over the (long) compaction loop.
+    if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
+      mutex_.lock();
+      if (imm_ != nullptr) {
+        CompactMemTable();
+        background_work_finished_signal_.notify_all();
+      }
+      mutex_.unlock();
+    }
     Slice key = input->key();
 
     // Handle key/value, add to state, etc.
@@ -1750,6 +1998,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     }
   }
 
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("Deleting DB during compaction");
+  }
   if (status.ok() && compact->builder != nullptr) {
     const uint64_t t0 = env_->NowMicros();
     status = FinishCompactionOutputFile(compact, input);
@@ -1761,6 +2012,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   const uint64_t loop_us = env_->NowMicros() - loop_start_us;
   delete input;
   input = nullptr;
+  mutex_.lock();
 
   if (status.ok()) {
     if (stats_ != nullptr) {
@@ -1804,19 +2056,23 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
 namespace {
 
 struct IterState {
+  std::mutex* const mu;
   Version* const version;
   MemTable* const mem;
   MemTable* const imm;
 
-  IterState(Version* version, MemTable* mem, MemTable* imm)
-      : version(version), mem(mem), imm(imm) {}
+  IterState(std::mutex* mu, Version* version, MemTable* mem, MemTable* imm)
+      : mu(mu), version(version), mem(mem), imm(imm) {}
 };
 
 static void CleanupIteratorState(void* arg1, void* /*arg2*/) {
   IterState* state = reinterpret_cast<IterState*>(arg1);
+  // Ref counts on memtables and versions are guarded by the DB mutex.
+  state->mu->lock();
   state->mem->Unref();
   if (state->imm != nullptr) state->imm->Unref();
   state->version->Unref();
+  state->mu->unlock();
   delete state;
 }
 
@@ -1824,6 +2080,7 @@ static void CleanupIteratorState(void* arg1, void* /*arg2*/) {
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
+  mutex_.lock();
   *latest_snapshot = versions_->LastSequence();
 
   // Collect together all needed child iterators
@@ -1840,9 +2097,10 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
   versions_->current()->Ref();
 
   IterState* cleanup =
-      new IterState(versions_->current(), mem_, imm_);
+      new IterState(&mutex_, versions_->current(), mem_, imm_);
   internal_iter->RegisterCleanup(CleanupIteratorState, cleanup, nullptr);
 
+  mutex_.unlock();
   return internal_iter;
 }
 
@@ -1852,6 +2110,7 @@ Iterator* DBImpl::TEST_NewInternalIterator() {
 }
 
 int DBImpl::TEST_NumLevelFiles(int level) const {
+  std::lock_guard<std::mutex> l(mutex_);
   return versions_->NumLevelFiles(level);
 }
 
@@ -1859,9 +2118,10 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   if (sim_ != nullptr) sim_->Pump();
   const uint64_t start_us = NowMicros();
-  ObserveOp(false);
 
   Status s;
+  mutex_.lock();
+  ObserveOp(false);
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot =
@@ -1882,6 +2142,10 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   perf->last_get_hit_level = PerfContext::kHitNone;
 
   {
+    // The actual probe runs unlocked: the memtable skip list tolerates
+    // concurrent readers, and the pinned version (with its LDC link-state
+    // snapshot) is immutable.
+    mutex_.unlock();
     LookupKey lkey(key, snapshot);
     if (mem->Get(lkey, value, &s)) {
       perf->last_get_hit_level = PerfContext::kHitMemTable;
@@ -1890,11 +2154,13 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     } else {
       s = current->Get(options, lkey, value);
     }
+    mutex_.lock();
   }
 
   mem->Unref();
   if (imm != nullptr) imm->Unref();
   current->Unref();
+  mutex_.unlock();
 
   if (sim_ != nullptr) {
     sim_->AdvanceMicros(kPointLookupCpuUs, SimActivity::kCpu);
@@ -1920,10 +2186,12 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> l(mutex_);
   return snapshots_.New(versions_->LastSequence());
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> l(mutex_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
@@ -1940,44 +2208,152 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (sim_ != nullptr) sim_->Pump();
   const uint64_t start_us = NowMicros();
-  ObserveOp(true);
 
+  Writer w;
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  mutex_.lock();
+  ObserveOp(true);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(mutex_);
+  }
+  if (w.done) {
+    // A leader committed this batch as part of its group.
+    mutex_.unlock();
+    if (stats_ != nullptr) {
+      stats_->RecordLatency(OpHistogram::kWriteLatencyUs,
+                            static_cast<double>(NowMicros() - start_us));
+    }
+    return w.status;
+  }
+
+  // This thread is the group leader. MakeRoomForWrite may release and
+  // re-acquire the mutex, but only the front writer runs it, so the queue
+  // order is preserved.
   Status status = MakeRoomForWrite(updates == nullptr);
   uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
   if (status.ok() && updates != nullptr) {
-    WriteBatchInternal::SetSequence(updates, last_sequence + 1);
-    const int count = WriteBatchInternal::Count(updates);
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    const int count = WriteBatchInternal::Count(write_batch);
     last_sequence += count;
 
-    // Append to the WAL first, then apply to the memtable.
-    const Slice contents = WriteBatchInternal::Contents(updates);
-    status = log_->AddRecord(contents);
-    if (status.ok() && options.sync) {
-      status = logfile_->Sync();
-    }
-    if (status.ok()) {
-      status = WriteBatchInternal::InsertInto(updates, mem_);
-    }
-    versions_->SetLastSequence(last_sequence);
-
-    if (sim_ != nullptr) {
-      if (options.sync) {
-        sim_->ChargeForegroundWrite(contents.size(), SimActivity::kWal);
-      } else {
-        sim_->ChargeBufferedAppend(contents.size(), SimActivity::kWal);
+    // Append to the WAL and apply to the memtable with the lock released:
+    // &w is the front of the queue, so no other thread can enter this
+    // region concurrently; the skip list tolerates concurrent readers.
+    {
+      mutex_.unlock();
+      const Slice contents = WriteBatchInternal::Contents(write_batch);
+      status = log_->AddRecord(contents);
+      bool sync_error = false;
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+        if (!status.ok()) {
+          sync_error = true;
+        }
       }
-      sim_->AdvanceMicros(kMemTableInsertCpuUs * count, SimActivity::kCpu);
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      if (stats_ != nullptr) {
+        stats_->Record(kWalWriteBytes, contents.size());
+      }
+      mutex_.lock();
+      if (sync_error) {
+        // The state of the log file is indeterminate: the record we just
+        // added may or may not show up after a crash. Refuse new writes.
+        RecordBackgroundError(status);
+      }
+      if (sim_ != nullptr) {
+        if (options.sync) {
+          sim_->ChargeForegroundWrite(contents.size(), SimActivity::kWal);
+        } else {
+          sim_->ChargeBufferedAppend(contents.size(), SimActivity::kWal);
+        }
+        sim_->AdvanceMicros(kMemTableInsertCpuUs * count, SimActivity::kCpu);
+      }
     }
-    if (stats_ != nullptr) {
-      stats_->Record(kWalWriteBytes, contents.size());
-    }
+    if (write_batch == tmp_batch_) tmp_batch_->Clear();
+
+    versions_->SetLastSequence(last_sequence);
   }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+
+  // Notify new head of write queue
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+  mutex_.unlock();
 
   if (stats_ != nullptr) {
     stats_->RecordLatency(OpHistogram::kWriteLatencyUs,
                           static_cast<double>(NowMicros() - start_us));
   }
   return status;
+}
+
+// REQUIRES: mutex_ held; writer list must be non-empty; first writer must
+// have a non-null batch.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the original
+  // write is small, limit the growth so we do not slow down the small
+  // write too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  std::deque<Writer*>::iterator iter = writers_.begin();
+  ++iter;  // Advance past "first"
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync
+      // write.
+      break;
+    }
+
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        // Do not make batch too big
+        break;
+      }
+
+      // Append to *result
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's batch
+        result = tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
 }
 
 // REQUIRES: mem_ is not null
@@ -1996,13 +2372,21 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // L0 files. Rather than delaying a single write by several
       // seconds when we hit the hard limit, start delaying each
       // individual write by 1ms to reduce latency variance.
+      MaybeScheduleCompaction();
       if (sim_ != nullptr) {
+        // Virtual clock: the delay costs 1ms of simulated time.
         sim_->AdvanceMicros(1000.0, SimActivity::kCpu);
+      } else {
+        mutex_.unlock();
+        env_->SleepForMicroseconds(1000);
+        mutex_.lock();
       }
-      if (stats_ != nullptr) stats_->Record(kSlowdownMicros, 1000);
+      if (stats_ != nullptr) {
+        stats_->Record(kSlowdownMicros, 1000);
+        stats_->RecordLatency(OpHistogram::kWriteStallUs, 1000.0);
+      }
       NotifyWriteStall(WriteStallCause::kL0SlowdownTrigger, 1000);
       allow_delay = false;  // Do not delay a single write more than once
-      MaybeScheduleCompaction();
     } else if (!force &&
                (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size)) {
       // There is room in current memtable
@@ -2012,19 +2396,25 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // one is still being flushed, so we wait.
       const uint64_t stall_start = NowMicros();
       MaybeScheduleCompaction();
-      if (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) {
-        sim_->WaitForNextBackgroundJob();
-      } else if (sim_ == nullptr) {
-        // Without a simulator, background work runs synchronously, so an
-        // unflushed imm_ here means flushing failed.
-        if (imm_ != nullptr && bg_error_.ok()) {
-          s = Status::IOError("immutable memtable was not flushed");
-          break;
+      if (sim_ != nullptr) {
+        if (sim_->HasPendingBackgroundJobs()) {
+          mutex_.unlock();
+          sim_->WaitForNextBackgroundJob();
+          mutex_.lock();
         }
+      } else if (background_compaction_scheduled_) {
+        background_work_finished_signal_.wait(mutex_);
+      } else if (imm_ != nullptr && bg_error_.ok()) {
+        // No background call outstanding yet the imm_ persists: with an
+        // inline Env the flush ran synchronously and must have failed.
+        s = Status::IOError("immutable memtable was not flushed");
+        break;
       }
       const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
         stats_->Record(kStallMicros, stall_us);
+        stats_->RecordLatency(OpHistogram::kWriteStallUs,
+                              static_cast<double>(stall_us));
       }
       NotifyWriteStall(WriteStallCause::kMemtableLimit, stall_us);
     } else if (options_.compaction_style != CompactionStyle::kTiered &&
@@ -2032,18 +2422,24 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // There are too many level-0 files.
       const uint64_t stall_start = NowMicros();
       MaybeScheduleCompaction();
-      if (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) {
-        sim_->WaitForNextBackgroundJob();
-      } else if (sim_ == nullptr) {
-        if (versions_->NumLevelFiles(0) >= options_.l0_stop_trigger &&
-            bg_error_.ok()) {
-          s = Status::IOError("level-0 files did not drain");
-          break;
+      if (sim_ != nullptr) {
+        if (sim_->HasPendingBackgroundJobs()) {
+          mutex_.unlock();
+          sim_->WaitForNextBackgroundJob();
+          mutex_.lock();
         }
+      } else if (background_compaction_scheduled_) {
+        background_work_finished_signal_.wait(mutex_);
+      } else if (versions_->NumLevelFiles(0) >= options_.l0_stop_trigger &&
+                 bg_error_.ok()) {
+        s = Status::IOError("level-0 files did not drain");
+        break;
       }
       const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
         stats_->Record(kStallMicros, stall_us);
+        stats_->RecordLatency(OpHistogram::kWriteStallUs,
+                              static_cast<double>(stall_us));
       }
       NotifyWriteStall(WriteStallCause::kL0StopTrigger, stall_us);
     } else {
@@ -2061,6 +2457,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       logfile_number_ = new_log_number;
       log_ = new log::Writer(lfile);
       imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
       mem_ = new MemTable(internal_comparator_);
       mem_->Ref();
       force = false;  // Do not force another compaction if have room
@@ -2071,27 +2468,43 @@ Status DBImpl::MakeRoomForWrite(bool force) {
 }
 
 Status DBImpl::WaitForIdle() {
-  // Drain scheduled jobs and keep scheduling until the tree is balanced.
-  int spins = 0;
-  while (true) {
-    if (sim_ != nullptr) {
-      sim_->Drain();
-    }
-    MaybeScheduleCompaction();
-    const bool pending =
-        (sim_ != nullptr && sim_->HasPendingBackgroundJobs()) ||
-        background_job_pending_ || imm_ != nullptr ||
-        !pending_merges_.empty();
-    if (!pending) break;
-    if (++spins > 1000000) {
-      return Status::IOError("WaitForIdle did not converge");
+  if (sim_ != nullptr) {
+    // Drain scheduled jobs and keep scheduling until the tree is balanced.
+    int spins = 0;
+    while (true) {
+      sim_->Drain();  // Fires RunBackgroundJob callbacks; needs mutex_ free.
+      mutex_.lock();
+      MaybeScheduleCompaction();
+      const bool pending = sim_->HasPendingBackgroundJobs() ||
+                           background_compaction_scheduled_ ||
+                           imm_ != nullptr || !pending_merges_.empty();
+      const Status err = bg_error_;
+      mutex_.unlock();
+      if (!pending) return err;
+      if (++spins > 1000000) {
+        return Status::IOError("WaitForIdle did not converge");
+      }
     }
   }
-  return bg_error_;
+  mutex_.lock();
+  while (true) {
+    MaybeScheduleCompaction();
+    const bool pending = background_compaction_scheduled_ || imm_ != nullptr ||
+                         !pending_merges_.empty();
+    if (!pending || !bg_error_.ok() ||
+        shutting_down_.load(std::memory_order_acquire)) {
+      break;
+    }
+    background_work_finished_signal_.wait(mutex_);
+  }
+  Status s = bg_error_;
+  mutex_.unlock();
+  return s;
 }
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   value->clear();
+  std::lock_guard<std::mutex> l(mutex_);
 
   Slice in = property;
   Slice prefix("ldc.");
@@ -2223,7 +2636,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
                       versions_->registry()->FrozenFileCount()));
     w.KV("bytes", versions_->registry()->TotalFrozenBytes());
     w.EndObject();
-    w.KV("slice_link_threshold", EffectiveSliceThreshold());
+    w.KV("slice_link_threshold", EffectiveSliceThresholdLocked());
     if (stats_ != nullptr) {
       w.Key("statistics");
       w.Raw(stats_->ToJson());
@@ -2245,7 +2658,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
                             versions_->registry()->TotalFrozenBytes());
     return true;
   } else if (in == "slice-link-threshold") {
-    *value = NumberToString(EffectiveSliceThreshold());
+    *value = NumberToString(EffectiveSliceThresholdLocked());
     return true;
   } else if (in == "level-summary") {
     *value = versions_->LevelSummary();
@@ -2261,6 +2674,7 @@ void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
   // overlaps it (that data lives in frozen files, not in the live levels,
   // but is still readable in the range). Coarse but sufficient for the
   // library's users (space accounting is done via "ldc.total-bytes").
+  std::lock_guard<std::mutex> l(mutex_);
   Version* v = versions_->current();
   v->Ref();
   const Comparator* ucmp = internal_comparator_.user_comparator();
@@ -2290,10 +2704,13 @@ void DBImpl::GetApproximateSizes(const Range* range, int n, uint64_t* sizes) {
 
 void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
   int max_level_with_files = 1;
-  Version* base = versions_->current();
-  for (int level = 1; level < versions_->NumLevels(); level++) {
-    if (base->OverlapInLevel(level, begin, end)) {
-      max_level_with_files = level;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < versions_->NumLevels(); level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
     }
   }
   TEST_CompactMemTable();  // Flush memtable (ignores errors)
@@ -2325,8 +2742,21 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     end_key = &end_storage;
   }
 
+  if (sim_ != nullptr) {
+    // Settle the simulated timeline first so no sim job races the manual
+    // compaction (Drain fires callbacks that acquire mutex_).
+    sim_->Drain();
+  }
+  mutex_.lock();
+  while (sim_ == nullptr && background_compaction_scheduled_ &&
+         bg_error_.ok()) {
+    background_work_finished_signal_.wait(mutex_);
+  }
   Compaction* c = versions_->CompactRange(level, begin_key, end_key);
   if (c != nullptr) {
+    // Claim the single background slot so MaybeScheduleCompaction does not
+    // start a concurrent job while we run this compaction inline.
+    background_compaction_scheduled_ = true;
     CompactionState* compact = new CompactionState(c);
     Status status = DoCompactionWork(compact);
     if (!status.ok()) {
@@ -2336,7 +2766,11 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     c->ReleaseInputs();
     delete c;
     RemoveObsoleteFiles();
+    background_compaction_scheduled_ = false;
+    background_work_finished_signal_.notify_all();
+    MaybeScheduleCompaction();
   }
+  mutex_.unlock();
 }
 
 Status DBImpl::TEST_CompactMemTable() {
@@ -2345,17 +2779,32 @@ Status DBImpl::TEST_CompactMemTable() {
   if (s.ok()) {
     if (sim_ != nullptr) {
       // Force the flush through the simulated device.
-      if (imm_ != nullptr) {
-        while (imm_ != nullptr && sim_->HasPendingBackgroundJobs()) {
-          sim_->WaitForNextBackgroundJob();
+      while (true) {
+        mutex_.lock();
+        const bool need =
+            imm_ != nullptr && sim_->HasPendingBackgroundJobs();
+        mutex_.unlock();
+        if (!need) break;
+        sim_->WaitForNextBackgroundJob();
+      }
+      mutex_.lock();
+    } else {
+      mutex_.lock();
+      while (imm_ != nullptr && bg_error_.ok()) {
+        MaybeScheduleCompaction();
+        if (imm_ == nullptr || !bg_error_.ok()) break;
+        if (background_compaction_scheduled_) {
+          background_work_finished_signal_.wait(mutex_);
+        } else {
+          break;  // Nothing scheduled yet the imm_ persists: give up.
         }
       }
     }
     if (imm_ != nullptr && bg_error_.ok()) {
-      // Non-sim path: flush synchronously.
-      s = CompactMemTable();
+      s = Status::IOError("immutable memtable was not flushed");
     }
     if (!bg_error_.ok()) s = bg_error_;
+    mutex_.unlock();
   }
   return s;
 }
@@ -2380,6 +2829,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   *dbptr = nullptr;
 
   DBImpl* impl = new DBImpl(options, dbname);
+  impl->mutex_.lock();
   VersionEdit edit;
   // Recover handles create_if_missing, error_if_exists
   bool save_manifest = false;
@@ -2424,7 +2874,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     // memory; rebuild them from the recovered link state so lower files at
     // or above T_s make progress without waiting for another link.
     if (impl->options_.compaction_style == CompactionStyle::kLdc) {
-      const int threshold = impl->EffectiveSliceThreshold();
+      const int threshold = impl->EffectiveSliceThresholdLocked();
       for (const auto& kvp : impl->versions_->registry()->all_links()) {
         if (static_cast<int>(kvp.second.size()) >= threshold) {
           impl->EnqueueLdcMerge(kvp.first);
@@ -2433,6 +2883,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     }
     impl->MaybeScheduleCompaction();
   }
+  impl->mutex_.unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
     *dbptr = impl;

@@ -1,13 +1,17 @@
 #ifndef LDC_DB_DB_IMPL_H_
 #define LDC_DB_DB_IMPL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <set>
 #include <string>
 
 #include "db/dbformat.h"
 #include "db/snapshot.h"
+#include "db/thread_annotations.h"
 #include "ldc/db.h"
 #include "ldc/env.h"
 #include "ldc/listener.h"
@@ -74,6 +78,7 @@ class DBImpl : public DB {
  private:
   friend class DB;
   struct CompactionState;
+  struct Writer;
 
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot);
@@ -82,61 +87,111 @@ class DBImpl : public DB {
 
   // Recover the descriptor from persistent storage. May do a significant
   // amount of work to recover recently logged updates.
-  Status Recover(VersionEdit* edit, bool* save_manifest);
+  Status Recover(VersionEdit* edit, bool* save_manifest)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  // Delete any unneeded files and stale in-memory entries.
-  void RemoveObsoleteFiles();
+  // Delete any unneeded files and stale in-memory entries. Drops the lock
+  // around the actual file deletions.
+  void RemoveObsoleteFiles() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   Status RecoverLogFile(uint64_t log_number, bool last_log, bool* save_manifest,
-                        VersionEdit* edit, SequenceNumber* max_sequence);
+                        VersionEdit* edit, SequenceNumber* max_sequence)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base);
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
-  Status MakeRoomForWrite(bool force /* compact even if there is room? */);
+  // REQUIRES: mutex_ held; this thread is currently at the front of the
+  // writer queue. May release and re-acquire the mutex (slowdown sleeps and
+  // condition-variable waits happen with the lock dropped).
+  Status MakeRoomForWrite(bool force /* compact even if there is room? */)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Merge the write batches of queued writers into a single batch (possibly
+  // tmp_batch_) so the group shares one WAL append and one memtable pass.
+  // REQUIRES: mutex_ held; writer list non-empty; front writer has a batch.
+  WriteBatch* BuildBatchGroup(Writer** last_writer)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Flush the immutable memtable to a level-0 table and install the result.
-  Status CompactMemTable();
+  Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // --- Background-work orchestration -----------------------------------
-  // At most one background job (flush, UDC compaction, LDC merge) is
-  // outstanding at a time, mirroring LevelDB's single compaction thread.
-  // Under simulation the job is scheduled on the device timeline and its
-  // data work runs when the virtual clock passes its completion; without a
-  // simulator the job runs synchronously at the trigger point.
+  // At most one background job (flush, UDC compaction, LDC merge, tiered
+  // merge) is outstanding at a time, mirroring LevelDB's single compaction
+  // thread. Three execution regimes share the same job bodies:
+  //
+  //  * Simulation (sim_ != nullptr): jobs are registered on the simulated
+  //    device timeline by ScheduleBackgroundWorkSim() and their data work
+  //    runs inside RunBackgroundJob() when the virtual clock passes the
+  //    job's completion time (SimContext::Pump / WaitForNextBackgroundJob /
+  //    Drain — always invoked with mutex_ released). Single threaded and
+  //    deterministic.
+  //  * Threaded Env (PosixEnv): MaybeScheduleCompaction() hands BGWork off
+  //    to Env::Schedule's thread pool; BackgroundCall() loops running work
+  //    units until none remain, signalling background_work_finished_signal_
+  //    after each one.
+  //  * Inline Env (default Env::Schedule runs the function before
+  //    returning): the same BackgroundCall() drains all work synchronously
+  //    inside MaybeScheduleCompaction(), which is why that method releases
+  //    the mutex around the Schedule call.
 
-  void MaybeScheduleCompaction();
-  // Schedules (or synchronously runs) one unit of background work.
-  // Returns true if a job was started.
-  bool ScheduleBackgroundWork();
+  void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Cheap, side-effect-free check whether a background work unit exists.
+  bool HasPendingBackgroundWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  static void BGWork(void* db);
+  void BackgroundCall();
+  // Runs one unit of background work (flush, one compaction/merge).
+  // Returns true if any work was performed.
+  bool ExecuteOneBackgroundJob() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  // Simulation path: registers (at most) one job on the device timeline.
+  // Returns true if a job was scheduled.
+  bool ScheduleBackgroundWorkSim() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Simulation path: callback fired by the simulator when a scheduled job's
+  // device time has elapsed. Acquires mutex_ itself.
   void RunBackgroundJob(int job_kind, uint64_t arg);
 
   // UDC: perform the picked compaction's data work and install it.
-  Status DoCompactionWork(CompactionState* compact);
+  // Holds mutex_ on entry/exit; drops it around the merge I/O.
+  Status DoCompactionWork(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Status OpenCompactionOutputFile(CompactionState* compact);
   Status FinishCompactionOutputFile(CompactionState* compact, Iterator* input);
-  Status InstallCompactionResults(CompactionState* compact);
-  void CleanupCompaction(CompactionState* compact);
-  void BackgroundCompactionUdc(Compaction* c);
+  Status InstallCompactionResults(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void CleanupCompaction(CompactionState* compact)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void BackgroundCompactionUdc(Compaction* c)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Tiered (lazy baseline): find a group of >= fan_out similarly-sized
   // level-0 files; merge them into one bigger level-0 file.
-  std::vector<uint64_t> PickTieredGroup(uint64_t* total_bytes);
-  Status DoTieredMerge(const std::vector<uint64_t>& file_numbers);
+  std::vector<uint64_t> PickTieredGroup(uint64_t* total_bytes)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  Status DoTieredMerge(const std::vector<uint64_t>& file_numbers)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // LDC: the two phases.
   // Performs link operations (metadata only) until the tree no longer
   // needs one or a merge gets queued; returns true if any metadata changed.
-  bool DoLdcLinkWork();
+  // Metadata-only and therefore cheap enough to run on the foreground path.
+  bool DoLdcLinkWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   // Merge the given lower-level file with all its linked slices.
-  Status DoLdcMerge(uint64_t lower_file_number);
-  void EnqueueLdcMerge(uint64_t lower_file_number);
+  // Holds mutex_ on entry/exit; drops it around the merge I/O.
+  Status DoLdcMerge(uint64_t lower_file_number)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  void EnqueueLdcMerge(uint64_t lower_file_number)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Record one user operation for the adaptive-T_s controller (§III-B4).
-  void ObserveOp(bool is_write);
+  void ObserveOp(bool is_write) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  int EffectiveSliceThresholdLocked() const EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // --- Event notification ------------------------------------------------
   // Each helper fires the registered EventListeners and writes a line to
-  // Options::info_log. Durations are measured on Env::NowMicros() — the
+  // Options::info_log. Listeners run with mutex_ held and must not call
+  // back into the DB. Durations are measured on Env::NowMicros() — the
   // simulator's virtual clock does not advance during synchronous data
   // work, so it cannot time the work itself.
   void NotifyFlushEvent(bool completed, const FlushJobInfo& info);
@@ -163,11 +218,24 @@ class DBImpl : public DB {
   // Lock over the persistent DB state. Non-null iff successfully acquired.
   FileLock* db_lock_;
 
+  // State below is protected by mutex_ unless noted otherwise. Lock order:
+  // mutex_ is the outermost lock; leaf mutexes (table cache, block cache,
+  // Statistics histograms, FileLogger) may be taken while holding it, never
+  // the reverse. See docs/CONCURRENCY.md.
+  mutable std::mutex mutex_;
+  std::atomic<bool> shutting_down_;
+  // Signalled whenever a background work unit finishes (and on shutdown).
+  std::condition_variable_any background_work_finished_signal_;
   MemTable* mem_;
-  MemTable* imm_;  // Memtable being flushed
+  MemTable* imm_;                // Memtable being flushed
+  std::atomic<bool> has_imm_;    // So background jobs can peek without lock
   WritableFile* logfile_;
   uint64_t logfile_number_;
   log::Writer* log_;
+
+  // Queue of writers; front is the group-commit leader.
+  std::deque<Writer*> writers_;
+  WriteBatch* tmp_batch_;  // Scratch batch for group commit
 
   SnapshotList snapshots_;
 
@@ -175,17 +243,16 @@ class DBImpl : public DB {
   // part of ongoing compactions.
   std::set<uint64_t> pending_outputs_;
 
-  // True while a background job is scheduled/ running.
-  bool background_job_pending_;
-  // Guard against re-entrant scheduling while executing background work.
-  bool in_background_work_;
-  // The UDC compaction whose job is currently scheduled (at most one).
+  // True while a background call is scheduled or running (threaded/inline
+  // Env), or while a job sits on the simulated device timeline (sim).
+  bool background_compaction_scheduled_;
+  // The UDC compaction whose sim job is currently scheduled (at most one).
   Compaction* scheduled_udc_ = nullptr;
 
   // LDC: lower files waiting for their merge, FIFO.
   std::deque<uint64_t> pending_merges_;
   std::set<uint64_t> pending_merge_set_;
-  // Tiered: the file group whose merge job is currently scheduled.
+  // Tiered: the file group whose sim merge job is currently scheduled.
   std::vector<uint64_t> scheduled_tier_group_;
 
   // Adaptive-T_s controller state.

@@ -5,7 +5,24 @@
 
 namespace ldc {
 
+const std::shared_ptr<const LdcLinkState>& LdcLinkState::Empty() {
+  static const std::shared_ptr<const LdcLinkState> empty =
+      std::make_shared<const LdcLinkState>();
+  return empty;
+}
+
 void LdcLinkRegistry::Apply(const VersionEdit& edit) {
+  if (edit.frozen_files_.empty() && edit.slice_links_.empty() &&
+      edit.consumed_links_.empty() && edit.removed_frozen_.empty()) {
+    return;  // No LDC records: keep sharing the current state.
+  }
+
+  // Copy-on-write: build the successor state from the current one, then
+  // publish it. Readers holding the old shared_ptr keep a consistent view.
+  auto next = std::make_shared<LdcLinkState>(*state_);
+  auto& links_ = next->links;
+  auto& frozen_ = next->frozen;
+
   for (const FrozenFileMeta& f : edit.frozen_files_) {
     assert(frozen_.find(f.number) == frozen_.end());
     FrozenFileMeta meta = f;
@@ -46,16 +63,18 @@ void LdcLinkRegistry::Apply(const VersionEdit& edit) {
       frozen_.erase(it);
     }
   }
+
+  state_ = std::move(next);
 }
 
-int LdcLinkRegistry::LinkCount(uint64_t lower_file_number) const {
-  auto it = links_.find(lower_file_number);
-  return it == links_.end() ? 0 : static_cast<int>(it->second.size());
+int LdcLinkState::LinkCount(uint64_t lower_file_number) const {
+  auto it = links.find(lower_file_number);
+  return it == links.end() ? 0 : static_cast<int>(it->second.size());
 }
 
-uint64_t LdcLinkRegistry::LinkedBytes(uint64_t lower_file_number) const {
-  auto it = links_.find(lower_file_number);
-  if (it == links_.end()) return 0;
+uint64_t LdcLinkState::LinkedBytes(uint64_t lower_file_number) const {
+  auto it = links.find(lower_file_number);
+  if (it == links.end()) return 0;
   uint64_t total = 0;
   for (const SliceLinkMeta& link : it->second) {
     total += link.estimated_bytes;
@@ -63,11 +82,11 @@ uint64_t LdcLinkRegistry::LinkedBytes(uint64_t lower_file_number) const {
   return total;
 }
 
-std::vector<SliceLinkMeta> LdcLinkRegistry::LinksNewestFirst(
+std::vector<SliceLinkMeta> LdcLinkState::LinksNewestFirst(
     uint64_t lower_file_number) const {
   std::vector<SliceLinkMeta> result;
-  auto it = links_.find(lower_file_number);
-  if (it == links_.end()) return result;
+  auto it = links.find(lower_file_number);
+  if (it == links.end()) return result;
   result = it->second;
   std::sort(result.begin(), result.end(),
             [](const SliceLinkMeta& a, const SliceLinkMeta& b) {
@@ -76,22 +95,22 @@ std::vector<SliceLinkMeta> LdcLinkRegistry::LinksNewestFirst(
   return result;
 }
 
-const std::vector<SliceLinkMeta>* LdcLinkRegistry::Links(
+const std::vector<SliceLinkMeta>* LdcLinkState::Links(
     uint64_t lower_file_number) const {
-  auto it = links_.find(lower_file_number);
-  return it == links_.end() ? nullptr : &it->second;
+  auto it = links.find(lower_file_number);
+  return it == links.end() ? nullptr : &it->second;
 }
 
-const FrozenFileMeta* LdcLinkRegistry::Frozen(uint64_t number) const {
-  auto it = frozen_.find(number);
-  return it == frozen_.end() ? nullptr : &it->second;
+const FrozenFileMeta* LdcLinkState::Frozen(uint64_t number) const {
+  auto it = frozen.find(number);
+  return it == frozen.end() ? nullptr : &it->second;
 }
 
-std::vector<uint64_t> LdcLinkRegistry::FrozenReclaimableAfterConsume(
+std::vector<uint64_t> LdcLinkState::FrozenReclaimableAfterConsume(
     uint64_t lower_file_number) const {
   std::vector<uint64_t> result;
-  auto it = links_.find(lower_file_number);
-  if (it == links_.end()) return result;
+  auto it = links.find(lower_file_number);
+  if (it == links.end()) return result;
   // Count how many links of each frozen file would be consumed.
   std::map<uint64_t, int> consumed;
   for (const SliceLinkMeta& link : it->second) {
@@ -107,10 +126,10 @@ std::vector<uint64_t> LdcLinkRegistry::FrozenReclaimableAfterConsume(
   return result;
 }
 
-uint64_t LdcLinkRegistry::MostLinkedLowerFile(int* link_count) const {
+uint64_t LdcLinkState::MostLinkedLowerFile(int* link_count) const {
   uint64_t best = 0;
   int best_count = 0;
-  for (const auto& kvp : links_) {
+  for (const auto& kvp : links) {
     if (static_cast<int>(kvp.second.size()) > best_count) {
       best = kvp.first;
       best_count = static_cast<int>(kvp.second.size());
@@ -120,16 +139,16 @@ uint64_t LdcLinkRegistry::MostLinkedLowerFile(int* link_count) const {
   return best;
 }
 
-uint64_t LdcLinkRegistry::TotalFrozenBytes() const {
+uint64_t LdcLinkState::TotalFrozenBytes() const {
   uint64_t total = 0;
-  for (const auto& kvp : frozen_) {
+  for (const auto& kvp : frozen) {
     total += kvp.second.file_size;
   }
   return total;
 }
 
-void LdcLinkRegistry::AddLiveFiles(std::set<uint64_t>* live) const {
-  for (const auto& kvp : frozen_) {
+void LdcLinkState::AddLiveFiles(std::set<uint64_t>* live) const {
+  for (const auto& kvp : frozen) {
     live->insert(kvp.first);
   }
 }

@@ -1,0 +1,24 @@
+// Documentation-oriented lock annotations (LevelDB style). They expand to
+// nothing under normal builds; with clang's -Wthread-safety the compiler
+// checks them (std::mutex is unannotated in libstdc++, so the checks are
+// advisory only — the annotations primarily document the locking contract).
+
+#ifndef LDC_DB_THREAD_ANNOTATIONS_H_
+#define LDC_DB_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(LDCKV_THREAD_SAFETY_ANALYSIS)
+#define LDCKV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LDCKV_THREAD_ANNOTATION(x)
+#endif
+
+#ifndef EXCLUSIVE_LOCKS_REQUIRED
+#define EXCLUSIVE_LOCKS_REQUIRED(...) \
+  LDCKV_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) LDCKV_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+#endif  // LDC_DB_THREAD_ANNOTATIONS_H_

@@ -322,7 +322,7 @@ void Version::AddIterators(const ReadOptions& options,
   // not been merged yet. Their entries carry sequence numbers, so exposing
   // each frozen file as one more source keeps merged iteration correct
   // (newer versions win inside DBIter).
-  for (const auto& kvp : vset_->registry_.all_frozen()) {
+  for (const auto& kvp : links().frozen) {
     const FrozenFileMeta& frozen = kvp.second;
     iters->push_back(new LazyFrozenIterator(vset_->table_cache_, options,
                                             &vset_->icmp_, frozen));
@@ -391,15 +391,18 @@ bool Version::SearchFileGroup(const ReadOptions& options, FileMetaData* f,
 
   // Probe the linked slices first (they are strictly newer than *f); the
   // per-table bloom filters suppress most of the extra reads (paper §III-C).
-  if (vset_->registry_.HasLinks(f->number)) {
+  // Link state comes from this version's immutable snapshot, so a merge
+  // consuming the links concurrently cannot hide slice data from us.
+  const LdcLinkState& link_state = links();
+  if (link_state.HasLinks(f->number)) {
     for (const SliceLinkMeta& link :
-         vset_->registry_.LinksNewestFirst(f->number)) {
+         link_state.LinksNewestFirst(f->number)) {
       if (ucmp->Compare(user_key, link.smallest.user_key()) < 0 ||
           ucmp->Compare(user_key, link.largest.user_key()) > 0) {
         continue;
       }
       const FrozenFileMeta* frozen =
-          vset_->registry_.Frozen(link.frozen_file_number);
+          link_state.Frozen(link.frozen_file_number);
       assert(frozen != nullptr);
       if (frozen == nullptr) continue;
       if (stats != nullptr) stats->Record(kSliceSourcesChecked);
@@ -506,7 +509,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
       // Past the last file's largest key: the last file's responsibility
       // extends to +inf, so its slices may still contain the key.
       f = files.back();
-      if (!vset_->registry_.HasLinks(f->number)) continue;
+      if (!links().HasLinks(f->number)) continue;
     }
     if (SearchFileGroup(options, f, k, value, &s)) {
       if (stats != nullptr && s.ok()) stats->Record(kGetHits);
@@ -1077,6 +1080,17 @@ double VersionSet::MaxBytesForLevel(int level) const {
 }
 
 void VersionSet::Finalize(Version* v) {
+  // Pair the version with the LDC metadata snapshot it was installed with
+  // (Finalize runs after registry_.Apply in both LogAndApply and Recover),
+  // and build the file-number index for O(1) lookups.
+  v->link_state_ = registry_.snapshot();
+  v->file_index_.clear();
+  for (int level = 0; level < num_levels_; level++) {
+    for (FileMetaData* f : v->files_[level]) {
+      v->file_index_.emplace(f->number, std::make_pair(level, f));
+    }
+  }
+
   // Precomputed best level for next compaction
   int best_level = -1;
   double best_score = -1;
@@ -1214,6 +1228,10 @@ void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
         live->insert(files[i]->number);
       }
     }
+    // Frozen files reachable from this (possibly older) version's link
+    // snapshot must survive until the version is released, or in-flight
+    // readers could lose slice data.
+    v->links().AddLiveFiles(live);
   }
   registry_.AddLiveFiles(live);
 }

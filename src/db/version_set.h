@@ -14,7 +14,10 @@
 #define LDC_DB_VERSION_SET_H_
 
 #include <map>
+#include <memory>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/dbformat.h"
@@ -126,6 +129,25 @@ class Version {
     return files_[level];
   }
 
+  // The immutable LDC link/frozen snapshot matching this version's file
+  // set, captured at install time. Readers use it instead of the live
+  // registry so a concurrent merge cannot mutate link state under them.
+  const LdcLinkState& links() const {
+    return link_state_ != nullptr ? *link_state_ : *LdcLinkState::Empty();
+  }
+
+  // O(1) lookup of a table file by number across all levels (built by
+  // VersionSet::Finalize). Returns true and fills *level / *file when the
+  // file is part of this version.
+  bool FindFileByNumber(uint64_t number, int* level,
+                        FileMetaData** file) const {
+    auto it = file_index_.find(number);
+    if (it == file_index_.end()) return false;
+    *level = it->second.first;
+    *file = it->second.second;
+    return true;
+  }
+
   // Return a human readable string that describes this version's contents.
   std::string DebugString() const;
 
@@ -163,6 +185,14 @@ class Version {
 
   // List of files per level
   std::vector<FileMetaData*> files_[config::kMaxNumLevels];
+
+  // file number -> (level, metadata) for every file in this version.
+  // Built once at install time (VersionSet::Finalize); immutable after.
+  std::unordered_map<uint64_t, std::pair<int, FileMetaData*>> file_index_;
+
+  // LDC metadata snapshot paired with this version (may be null for the
+  // initial empty version; see links()).
+  std::shared_ptr<const LdcLinkState> link_state_;
 
   // Level that should be compacted next and its compaction score.
   // Score < 1 means compaction is not strictly needed. These fields

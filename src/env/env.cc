@@ -1,11 +1,28 @@
 #include "ldc/env.h"
 
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace ldc {
 
 Env::~Env() = default;
+
+// Deterministic default: run the work inline on the calling thread. The
+// DB never calls Schedule while holding its mutex, so inline execution is
+// safe; it also keeps the in-memory Env (and therefore the simulated-clock
+// benchmarks) byte-for-byte reproducible. PosixEnv overrides this with a
+// real thread pool.
+void Env::Schedule(void (*fn)(void*), void* arg) { (*fn)(arg); }
+
+void Env::StartThread(void (*fn)(void*), void* arg) { (*fn)(arg); }
+
+// Deterministic environments have no wall clock to wait on; they model the
+// delay as zero time (the in-memory Env's counter clock advances on every
+// NowMicros call instead).
+void Env::SleepForMicroseconds(int /*micros*/) {}
+
+EnvWrapper::~EnvWrapper() = default;
 
 Logger::~Logger() = default;
 
@@ -51,6 +68,9 @@ class FileLogger : public Logger {
       record.append(heap_buf.data(), msg_len);
     }
     if (record.empty() || record.back() != '\n') record.push_back('\n');
+    // Background jobs and foreground stall notifications log concurrently;
+    // serialize the append so records do not interleave.
+    std::lock_guard<std::mutex> l(mutex_);
     file_->Append(record);
     file_->Flush();
   }
@@ -58,6 +78,7 @@ class FileLogger : public Logger {
  private:
   Env* const env_;
   WritableFile* const file_;
+  std::mutex mutex_;
 };
 
 }  // namespace

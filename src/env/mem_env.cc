@@ -381,6 +381,19 @@ class InMemoryEnv : public Env {
     return ++now_micros_;
   }
 
+  // Deterministic scheduling: background work runs inline, on the calling
+  // thread, before Schedule returns. This keeps tests and simulated-clock
+  // benchmarks single-threaded and bit-for-bit reproducible.
+  void Schedule(void (*fn)(void*), void* arg) override { (*fn)(arg); }
+
+  void StartThread(void (*fn)(void*), void* arg) override { (*fn)(arg); }
+
+  void SleepForMicroseconds(int micros) override {
+    // Model the delay on the virtual clock instead of blocking.
+    std::lock_guard<std::mutex> l(mutex_);
+    now_micros_ += micros > 0 ? static_cast<uint64_t>(micros) : 0;
+  }
+
  private:
   // Map from filenames to FileState objects, representing a simple file
   // system.

@@ -9,10 +9,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <queue>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "ldc/env.h"
 #include "util/no_destructor.h"
@@ -228,6 +232,66 @@ class PosixLockTable {
   std::set<std::string> locked_files_;
 };
 
+// Fixed-size pool of background threads draining a FIFO work queue.
+// Threads are started lazily on the first Schedule call and run for the
+// lifetime of the process (PosixEnv lives in a NoDestructor singleton).
+class PosixThreadPool {
+ public:
+  PosixThreadPool() = default;
+
+  PosixThreadPool(const PosixThreadPool&) = delete;
+  PosixThreadPool& operator=(const PosixThreadPool&) = delete;
+
+  void Schedule(void (*fn)(void*), void* arg) {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!started_) {
+      started_ = true;
+      const int n = NumThreads();
+      for (int i = 0; i < n; i++) {
+        std::thread(&PosixThreadPool::WorkerLoop, this).detach();
+      }
+    }
+    queue_.push(WorkItem{fn, arg});
+    work_available_.notify_one();
+  }
+
+ private:
+  struct WorkItem {
+    void (*fn)(void*);
+    void* arg;
+  };
+
+  static int NumThreads() {
+    // LDCKV_BACKGROUND_THREADS overrides the default pool size (useful for
+    // stress tests); one DB schedules at most one job at a time, so the
+    // pool mostly matters when several DBs share the default Env.
+    if (const char* env = std::getenv("LDCKV_BACKGROUND_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1 && n <= 64) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 8 ? 4 : 2;
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> l(mu_);
+        work_available_.wait(l, [this] { return !queue_.empty(); });
+        item = queue_.front();
+        queue_.pop();
+      }
+      (*item.fn)(item.arg);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::queue<WorkItem> queue_;
+  bool started_ = false;
+};
+
 class PosixEnv : public Env {
  public:
   PosixEnv() = default;
@@ -382,8 +446,23 @@ class PosixEnv : public Env {
     return static_cast<uint64_t>(tv.tv_sec) * kUsecondsPerSecond + tv.tv_usec;
   }
 
+  void Schedule(void (*fn)(void*), void* arg) override {
+    pool_.Schedule(fn, arg);
+  }
+
+  void StartThread(void (*fn)(void*), void* arg) override {
+    std::thread(fn, arg).detach();
+  }
+
+  void SleepForMicroseconds(int micros) override {
+    if (micros > 0) {
+      ::usleep(static_cast<useconds_t>(micros));
+    }
+  }
+
  private:
   PosixLockTable locks_;
+  PosixThreadPool pool_;
 };
 
 }  // namespace

@@ -40,6 +40,7 @@ const char* const kHistogramNames[static_cast<uint32_t>(
     "read.latency.us",
     "scan.latency.us",
     "compaction.duration.us",
+    "write.stall.us",
 };
 
 }  // namespace
@@ -59,6 +60,7 @@ Statistics::Statistics()
 Statistics::~Statistics() = default;
 
 void Statistics::RecordLatency(OpHistogram histogram, double micros) {
+  std::lock_guard<std::mutex> l(histogram_mutex_);
   histograms_[static_cast<uint32_t>(histogram)].Add(micros);
 }
 
@@ -70,6 +72,7 @@ void Statistics::Reset() {
   for (uint32_t i = 0; i < kTickerCount; i++) {
     tickers_[i].store(0, std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> l(histogram_mutex_);
   for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
        i++) {
     histograms_[i].Clear();
@@ -77,6 +80,7 @@ void Statistics::Reset() {
 }
 
 std::string Statistics::ToString() const {
+  std::lock_guard<std::mutex> l(histogram_mutex_);
   std::string result;
   char buf[200];
   for (uint32_t i = 0; i < kTickerCount; i++) {
@@ -96,6 +100,7 @@ std::string Statistics::ToString() const {
 }
 
 std::string Statistics::ToJson() const {
+  std::lock_guard<std::mutex> l(histogram_mutex_);
   JsonWriter w;
   w.BeginObject();
   w.Key("tickers");

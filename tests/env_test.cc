@@ -3,8 +3,12 @@
 
 #include "ldc/env.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "gtest/gtest.h"
 
@@ -168,6 +172,60 @@ TEST_P(EnvTest, NowMicrosMonotonic) {
   uint64_t a = env_->NowMicros();
   uint64_t b = env_->NowMicros();
   EXPECT_LE(a, b);
+}
+
+namespace {
+
+struct ScheduleState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int ran = 0;
+};
+
+void ScheduleWork(void* arg) {
+  auto* state = static_cast<ScheduleState*>(arg);
+  std::lock_guard<std::mutex> l(state->mu);
+  state->ran++;
+  state->cv.notify_all();
+}
+
+}  // namespace
+
+TEST_P(EnvTest, ScheduleRunsEveryTask) {
+  // Inline on the MemEnv, thread pool on the POSIX Env; either way every
+  // scheduled function must run exactly once.
+  constexpr int kTasks = 64;
+  ScheduleState state;
+  for (int i = 0; i < kTasks; i++) {
+    env_->Schedule(&ScheduleWork, &state);
+  }
+  std::unique_lock<std::mutex> l(state.mu);
+  ASSERT_TRUE(state.cv.wait_for(l, std::chrono::seconds(30),
+                                [&] { return state.ran == kTasks; }));
+}
+
+TEST_P(EnvTest, StartThreadRuns) {
+  ScheduleState state;
+  env_->StartThread(&ScheduleWork, &state);
+  std::unique_lock<std::mutex> l(state.mu);
+  ASSERT_TRUE(state.cv.wait_for(l, std::chrono::seconds(30),
+                                [&] { return state.ran == 1; }));
+}
+
+TEST(MemEnvScheduleTest, RunsInlineBeforeReturning) {
+  // The deterministic Env must execute the work on the calling thread,
+  // before Schedule returns — this is what keeps sim runs reproducible.
+  std::unique_ptr<Env> env(NewMemEnv());
+  std::thread::id worker_id;
+  struct Capture {
+    std::thread::id* id;
+  } capture{&worker_id};
+  env->Schedule(
+      [](void* arg) {
+        *static_cast<Capture*>(arg)->id = std::this_thread::get_id();
+      },
+      &capture);
+  EXPECT_EQ(std::this_thread::get_id(), worker_id);
 }
 
 INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvTest, testing::Values(true, false),

@@ -224,6 +224,9 @@ TEST_F(ListenerTest, WriteStallEventsUnderL0Pressure) {
     const char* name = WriteStallCauseName(s.cause);
     EXPECT_TRUE(name != nullptr && name[0] != '\0');
   }
+
+  // The sim is a local and must outlive the DB (the destructor drains it).
+  db_.reset();
 }
 
 TEST_F(ListenerTest, InfoLogIsWrittenToDbDirectory) {
