@@ -35,6 +35,12 @@ struct BenchParams {
   // wall-clock mode: no simulator, real POSIX background threads, and the
   // requested number of closed-loop clients sharing one DB.
   int threads = 1;
+  // Options::max_background_jobs (--bg-jobs=N). With the default 1 the DB
+  // runs the single-job regime; N > 1 lets it dispatch up to N
+  // non-conflicting flush/compaction/merge jobs concurrently. Only
+  // meaningful in wall-clock mode (threads > 1): the simulator is always
+  // single-job.
+  int bg_jobs = 1;
   uint64_t num_ops = 60000;
   uint64_t key_space = 60000;
   size_t value_size = 256;
@@ -52,13 +58,14 @@ struct BenchParams {
   // The paper's testbed keeps the (~10 GB) dataset essentially resident in
   // the OS page cache — reads rarely touch the SSD while compaction always
   // does. The bench default mirrors that: a cache larger than the dataset.
+  // Applied via Options::block_cache_capacity (the DB owns the cache).
   size_t block_cache_size = 256 * 1024 * 1024;
   SsdModel ssd;
 };
 
-// Parses shared command-line flags (currently --threads=N). Call at the top
-// of every bench main; exits with an error on unknown flags. Parsed values
-// are applied by DefaultBenchParams().
+// Parses shared command-line flags (--threads=N, --bg-jobs=N). Call at the
+// top of every bench main; exits with an error on unknown flags. Parsed
+// values are applied by DefaultBenchParams().
 void InitBenchFlags(int argc, char** argv);
 
 // Default parameters, scaled by the LDCKV_BENCH_SCALE environment variable
@@ -101,7 +108,6 @@ class BenchDb {
   std::unique_ptr<SimContext> sim_;
   std::unique_ptr<Statistics> stats_;
   std::unique_ptr<const FilterPolicy> filter_policy_;
-  std::unique_ptr<Cache> block_cache_;
   std::unique_ptr<DB> db_;
   std::unique_ptr<WorkloadDriver> driver_;
 };

@@ -42,6 +42,18 @@ Row RunPair(const std::string& workload) {
     ExportBenchJson("fig10_" + workload + "_" + StyleName(params.style), bench);
     const uint64_t read = bench.stats()->Get(kCompactionReadBytes);
     const uint64_t write = bench.stats()->Get(kCompactionWriteBytes);
+    if (params.threads > 1) {
+      // Wall-clock mode: report the scheduler's behavior so --bg-jobs
+      // sweeps are comparable (stall time down, merge overlap up).
+      const uint64_t stall_us = bench.stats()->Get(kStallMicros) +
+                                bench.stats()->Get(kSlowdownMicros);
+      std::string merges = "0";
+      bench.db()->GetProperty("ldc.parallel-merges", &merges);
+      std::printf("  [%s %s bg-jobs=%d] write-stall %llu us, peak parallel "
+                  "merges %s\n",
+                  workload.c_str(), StyleName(params.style), params.bg_jobs,
+                  static_cast<unsigned long long>(stall_us), merges.c_str());
+    }
     if (pass == 0) {
       row.udc_thpt = result.throughput_ops_per_sec;
       row.udc_read = read;

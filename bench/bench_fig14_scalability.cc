@@ -43,6 +43,21 @@ int main(int argc, char** argv) {
       thpt[pass] = result.throughput_ops_per_sec;
       io[pass] = bench.stats()->Get(kCompactionReadBytes) +
                  bench.stats()->Get(kCompactionWriteBytes);
+      if (params.threads > 1) {
+        // Wall-clock mode: report the scheduler's behavior so --bg-jobs
+        // sweeps are comparable (stall time down, merge overlap up).
+        const uint64_t stall_us = bench.stats()->Get(kStallMicros) +
+                                  bench.stats()->Get(kSlowdownMicros);
+        std::string merges = "0";
+        bench.db()->GetProperty("ldc.parallel-merges", &merges);
+        std::printf("  [%s ops=%llu bg-jobs=%d] write-stall %llu us, peak "
+                    "parallel merges %s\n",
+                    StyleName(params.style),
+                    static_cast<unsigned long long>(params.num_ops),
+                    params.bg_jobs,
+                    static_cast<unsigned long long>(stall_us),
+                    merges.c_str());
+      }
     }
     std::printf("%-12llu %13.0f %13.0f %+8.1f%% %13s %13s %8.1f%%\n",
                 static_cast<unsigned long long>(

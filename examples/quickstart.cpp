@@ -65,7 +65,9 @@ int main(int argc, char** argv) {
                 iter->value().ToString().c_str());
   }
 
-  // Reopen to demonstrate durability.
+  // Reopen to demonstrate durability. Iterators borrow resources from the
+  // DB that created them and must not outlive it.
+  iter.reset();
   db.reset();
   status = ldc::DB::Open(options, path, &raw);
   if (!status.ok()) {

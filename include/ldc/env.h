@@ -115,7 +115,9 @@ class Env {
   // any other Env that does not override it) runs "(*fn)(arg)" inline,
   // before returning. Callers must therefore not hold locks that "fn" will
   // acquire when calling Schedule. PosixEnv overrides this with a fixed
-  // pool of background threads.
+  // pool of background threads sized to half the hardware threads (clamped
+  // to [2, 8]; LDCKV_BACKGROUND_THREADS overrides) — a DB may hand it up to
+  // Options::max_background_jobs concurrent calls.
   virtual void Schedule(void (*fn)(void* arg), void* arg);
 
   // Start a new thread, invoking "(*fn)(arg)" within the new thread. When

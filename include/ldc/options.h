@@ -90,8 +90,14 @@ struct Options {
   // a block is the unit of reading from disk).
 
   // If non-null, use the specified cache for blocks.
-  // If null, the DB will create and use an internal 8 MB cache.
+  // If null, the DB will create and use an internal cache of
+  // `block_cache_capacity` bytes.
   Cache* block_cache = nullptr;
+
+  // Capacity in bytes of the internally created block cache. Ignored when
+  // block_cache is non-null. Surfaced at runtime through the
+  // "ldc.block-cache-usage" property.
+  size_t block_cache_capacity = 8 * 1024 * 1024;
 
   // Approximate size of user data packed per block.
   size_t block_size = 4 * 1024;
@@ -143,6 +149,17 @@ struct Options {
   int l0_compaction_trigger = 4;
   int l0_slowdown_trigger = 8;
   int l0_stop_trigger = 12;
+
+  // Maximum number of background work units (one memtable flush plus any
+  // set of mutually non-conflicting compactions / LDC merges) the DB may
+  // run concurrently. LDC merges on distinct lower-level SSTables touch
+  // disjoint key ranges by construction, so they parallelize fully; UDC
+  // compactions run concurrently only when their input file sets do not
+  // conflict. The default of 1 preserves the single-background-job
+  // discipline. Simulator runs (Options::sim != nullptr) are
+  // single-threaded by construction and always behave as if this were 1.
+  // See docs/CONCURRENCY.md ("Multi-job scheduling").
+  int max_background_jobs = 1;
 
   // -------------------
   // LDC-specific parameters (ignored under kUdc)

@@ -52,11 +52,27 @@ enum Ticker : uint32_t {
   kStallMicros,               // hard write stalls (L0 stop / imm wait)
   kSlowdownMicros,            // L0 slowdown delays
 
+  // Background scheduling (multi-job scheduler, docs/CONCURRENCY.md).
+  kBgJobsScheduled,           // background calls handed to Env::Schedule
+  kBgWorkUnits,               // work units (flush/compaction/merge) executed
+
   kTickerCount
 };
 
 // Returns the programmatic name of a ticker, e.g. "compaction.read.bytes".
 const char* TickerName(Ticker ticker);
+
+// Point-in-time gauges: unlike tickers these go up and down, tracking the
+// current value of a quantity (e.g. how many background jobs are executing
+// right now). Updated with relaxed atomics like tickers.
+enum Gauge : uint32_t {
+  kBgJobsRunning = 0,   // background work units currently executing
+  kLdcMergesRunning,    // LDC merges currently executing
+  kGaugeCount
+};
+
+// Returns the programmatic name of a gauge, e.g. "bg.jobs.running".
+const char* GaugeName(Gauge gauge);
 
 enum class OpHistogram : uint32_t {
   kWriteLatencyUs = 0,
@@ -85,6 +101,14 @@ class Statistics {
     return tickers_[ticker].load(std::memory_order_relaxed);
   }
 
+  void SetGauge(Gauge gauge, uint64_t value) {
+    gauges_[gauge].store(value, std::memory_order_relaxed);
+  }
+
+  uint64_t GetGauge(Gauge gauge) const {
+    return gauges_[gauge].load(std::memory_order_relaxed);
+  }
+
   // Thread-safe: concurrent writer/reader client threads record latencies
   // into the same histogram (guarded by an internal mutex).
   void RecordLatency(OpHistogram histogram, double micros);
@@ -109,6 +133,7 @@ class Statistics {
 
  private:
   std::atomic<uint64_t> tickers_[kTickerCount];
+  std::atomic<uint64_t> gauges_[kGaugeCount];
   mutable std::mutex histogram_mutex_;  // guards histograms_ mutation
   std::unique_ptr<Histogram[]> histograms_;
 };

@@ -157,8 +157,10 @@ Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.block_size, 256, 4 << 20);
   ClipToRange(&result.fan_out, 2, 1000);
   ClipToRange(&result.num_levels, 2, config::kMaxNumLevels);
+  ClipToRange(&result.max_background_jobs, 1, 64);
+  ClipToRange(&result.block_cache_capacity, 64 << 10, 1 << 30);
   if (result.block_cache == nullptr) {
-    result.block_cache = NewLRUCache(8 << 20);
+    result.block_cache = NewLRUCache(result.block_cache_capacity);
   }
   if (result.info_log == nullptr) {
     // Open a LOG file in the DB directory, rotating the previous one to
@@ -199,7 +201,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       logfile_number_(0),
       log_(nullptr),
       tmp_batch_(new WriteBatch),
-      background_compaction_scheduled_(false),
+      bg_jobs_scheduled_(0),
       window_writes_(0),
       window_reads_(0),
       smoothed_write_fraction_(0.5),
@@ -218,13 +220,15 @@ DBImpl::~DBImpl() {
     sim_->Drain();
   }
 
-  // Signal shutdown and wait for any in-flight background call to notice it
-  // and finish. Job bodies poll shutting_down_ at safe points and bail out.
+  // Signal shutdown and wait for all in-flight background calls to notice
+  // it and finish. Job bodies poll shutting_down_ at safe points and bail
+  // out; jobs still queued when the workers exit are dropped below.
   mutex_.lock();
   shutting_down_.store(true, std::memory_order_release);
-  while (background_compaction_scheduled_) {
+  while (bg_jobs_scheduled_ > 0) {
     background_work_finished_signal_.wait(mutex_);
   }
+  AbortQueuedJobs();
   mutex_.unlock();
 
   delete versions_;
@@ -618,7 +622,42 @@ Status DBImpl::CompactMemTable() {
 void DBImpl::RecordBackgroundError(const Status& s) {
   if (bg_error_.ok()) {
     bg_error_ = s;
+    Log(options_.info_log, "background error, aborting queued jobs: %s",
+        s.ToString().c_str());
+    // Abort everything that has not started yet: after a background error
+    // the DB must not install further results on top of a suspect state,
+    // so every queued job (not just the failing one) is dropped. Jobs
+    // already executing re-check bg_error_ under mutex_ before their
+    // install step and abort themselves.
+    AbortQueuedJobs();
+    background_work_finished_signal_.notify_all();
   }
+}
+
+void DBImpl::AbortQueuedJobs() {
+  for (BackgroundJob& job : job_queue_) {
+    switch (job.kind) {
+      case kJobFlush:
+        flush_claimed_ = false;
+        break;
+      case kJobLdcMerge:
+        merges_in_flight_.erase(job.lower_file);
+        break;
+      case kJobUdcCompaction:
+        for (uint64_t n : job.claims) claimed_files_.erase(n);
+        delete job.compaction;  // Unrefs the pinned input version.
+        job.compaction = nullptr;
+        break;
+      case kJobTieredMerge:
+        for (uint64_t n : job.claims) claimed_files_.erase(n);
+        break;
+      default:
+        assert(false);
+    }
+  }
+  job_queue_.clear();
+  pending_merges_.clear();
+  pending_merge_set_.clear();
 }
 
 uint64_t DBImpl::NowMicros() const {
@@ -810,41 +849,152 @@ void DBImpl::MaybeScheduleCompaction() {
     ScheduleBackgroundWorkSim();
     return;
   }
-  if (background_compaction_scheduled_) {
+  if (manual_compaction_active_) {
+    // TEST_CompactRange owns the background slots for the duration of its
+    // inline compaction; it re-runs this method when it is done.
     return;
   }
   // LDC's link phase is metadata-only, so it runs right here on the
   // foreground path: level 0 drains instantly even when the device is busy
-  // with a merge. It is skipped while a background call is in flight (flag
-  // checked above) so the link registry never changes under a running
-  // merge; the background call runs it again between work units.
+  // with merges. Running it concurrently with in-flight merges is safe
+  // because DoLdcLinkWork defers any plan that would attach a slice to a
+  // lower file whose merge is claimed (see the data-loss note there).
   if (options_.compaction_style == CompactionStyle::kLdc) {
     DoLdcLinkWork();
   }
-  if (!HasPendingBackgroundWork()) {
-    return;
+  FillJobQueue();
+  // Launch one worker per queued job, up to the configured cap. Workers
+  // loop over the queue, so calls already scheduled but not yet executing
+  // a unit (bg_jobs_scheduled_ - bg_jobs_running_) also count as capacity.
+  while (bg_jobs_scheduled_ < options_.max_background_jobs &&
+         bg_jobs_scheduled_ - bg_jobs_running_ <
+             static_cast<int>(job_queue_.size())) {
+    bg_jobs_scheduled_++;
+    if (stats_ != nullptr) stats_->Record(kBgJobsScheduled);
+    // Drop the mutex around the handoff: with the default inline Env,
+    // Schedule runs BackgroundCall (which takes the mutex) before
+    // returning.
+    mutex_.unlock();
+    env_->Schedule(&DBImpl::BGWork, this);
+    mutex_.lock();
+    if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+      break;
+    }
   }
-  background_compaction_scheduled_ = true;
-  // Drop the mutex around the handoff: with the default inline Env,
-  // Schedule runs BackgroundCall (which takes the mutex) before returning.
-  mutex_.unlock();
-  env_->Schedule(&DBImpl::BGWork, this);
-  mutex_.lock();
 }
 
-bool DBImpl::HasPendingBackgroundWork() {
-  if (imm_ != nullptr) return true;
-  switch (options_.compaction_style) {
-    case CompactionStyle::kTiered: {
-      uint64_t total_bytes = 0;
-      return !PickTieredGroup(&total_bytes).empty();
-    }
-    case CompactionStyle::kLdc:
-      return !pending_merges_.empty();
-    case CompactionStyle::kUdc:
-      return versions_->NeedsCompaction();
+void DBImpl::FillJobQueue() {
+  const int max_jobs = options_.max_background_jobs;
+  auto slots_left = [&] {
+    return max_jobs - bg_jobs_running_ - static_cast<int>(job_queue_.size());
+  };
+  if (slots_left() <= 0) return;
+
+  // 1. Flushing the immutable memtable has priority: user writes stall
+  //    behind it. One claim suffices — there is only ever one imm_.
+  if (imm_ != nullptr && !flush_claimed_) {
+    flush_claimed_ = true;
+    BackgroundJob job;
+    job.kind = kJobFlush;
+    job_queue_.push_back(std::move(job));
   }
-  return false;
+
+  switch (options_.compaction_style) {
+    case CompactionStyle::kLdc: {
+      // 2a. LDC: claim queued merges in FIFO order. Merges on distinct
+      //     lower files rewrite disjoint key ranges by construction, so
+      //     every claimed merge may run concurrently with the others.
+      while (slots_left() > 0 && !pending_merges_.empty()) {
+        const uint64_t lower = pending_merges_.front();
+        pending_merges_.pop_front();
+        pending_merge_set_.erase(lower);
+        if (!merges_in_flight_.insert(lower).second) {
+          continue;  // Already claimed (should not happen; be safe).
+        }
+        BackgroundJob job;
+        job.kind = kJobLdcMerge;
+        job.lower_file = lower;
+        job_queue_.push_back(std::move(job));
+      }
+      break;
+    }
+    case CompactionStyle::kTiered: {
+      // 2c. Lazy baseline: each pick excludes files already claimed by an
+      //     in-flight tiered merge, so concurrent groups are disjoint.
+      while (slots_left() > 0) {
+        uint64_t total_bytes = 0;
+        std::vector<uint64_t> group = PickTieredGroup(&total_bytes);
+        if (group.empty()) break;
+        claimed_files_.insert(group.begin(), group.end());
+        BackgroundJob job;
+        job.kind = kJobTieredMerge;
+        job.claims = std::move(group);
+        job_queue_.push_back(std::move(job));
+      }
+      break;
+    }
+    case CompactionStyle::kUdc: {
+      // 2b. UDC: pick classic compactions. Trivial moves are pure metadata
+      //     and are applied instantly. A data compaction is queued only if
+      //     its input file set is disjoint from every claimed job —
+      //     compact_pointer_ advances at pick time, so consecutive picks at
+      //     the same level naturally select different upper files, and any
+      //     key-range overlap between two compactions would surface as a
+      //     shared (claimed) level+1 input file.
+      while (slots_left() > 0 && versions_->NeedsCompaction()) {
+        const uint64_t pick_start_us = env_->NowMicros();
+        Compaction* c = versions_->PickCompaction(&claimed_files_);
+        if (c == nullptr) break;
+        {
+          // Attribute the picking cost to the output level (count stays
+          // zero; only completed data work increments it).
+          CompactionStats pick_stats;
+          pick_stats.pick_micros = env_->NowMicros() - pick_start_us;
+          versions_->AddCompactionStats(c->level() + 1, pick_stats);
+        }
+        bool conflict = false;
+        std::vector<uint64_t> inputs;
+        for (int which = 0; which < 2 && !conflict; which++) {
+          for (int i = 0; i < c->num_input_files(which); i++) {
+            const uint64_t n = c->input(which, i)->number;
+            if (claimed_files_.count(n) != 0) {
+              conflict = true;
+              break;
+            }
+            inputs.push_back(n);
+          }
+        }
+        if (conflict) {
+          // The skipped key range is retried once the conflicting job
+          // installs (compact_pointer_ wraps around).
+          delete c;
+          break;
+        }
+        if (c->IsTrivialMove()) {
+          assert(c->num_input_files(0) == 1);
+          FileMetaData* f = c->input(0, 0);
+          c->edit()->RemoveFile(c->level(), f->number);
+          c->edit()->AddFile(c->level() + 1, f->number, f->file_size,
+                             f->smallest, f->largest);
+          Status s = versions_->LogAndApply(c->edit());
+          if (!s.ok()) {
+            RecordBackgroundError(s);
+          }
+          if (stats_ != nullptr) stats_->Record(kTrivialMoves);
+          delete c;
+          if (!bg_error_.ok()) return;
+          continue;
+        }
+        claimed_files_.insert(inputs.begin(), inputs.end());
+        BackgroundJob job;
+        job.kind = kJobUdcCompaction;
+        job.compaction = c;
+        job.claims = std::move(inputs);
+        job_queue_.push_back(std::move(job));
+      }
+      break;
+    }
+  }
 }
 
 void DBImpl::BGWork(void* db) {
@@ -853,106 +1003,107 @@ void DBImpl::BGWork(void* db) {
 
 void DBImpl::BackgroundCall() {
   mutex_.lock();
-  assert(background_compaction_scheduled_);
-  // Loop (rather than re-scheduling ourselves) so the inline Env cannot
-  // recurse and the thread pool is not churned between back-to-back jobs.
-  // Stalled writers are woken after every unit of work.
-  while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
-    if (!ExecuteOneBackgroundJob()) break;
+  assert(bg_jobs_scheduled_ > 0);
+  // Loop over the job queue (rather than re-scheduling ourselves) so the
+  // inline Env cannot recurse and the thread pool is not churned between
+  // back-to-back jobs. Stalled writers are woken after every unit of work.
+  while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok() &&
+         !job_queue_.empty()) {
+    BackgroundJob job = std::move(job_queue_.front());
+    job_queue_.pop_front();
+    bg_jobs_running_++;
+    if (stats_ != nullptr) {
+      stats_->SetGauge(kBgJobsRunning, bg_jobs_running_);
+    }
+    ExecuteBackgroundJob(&job);
+    bg_jobs_running_--;
+    if (stats_ != nullptr) {
+      stats_->SetGauge(kBgJobsRunning, bg_jobs_running_);
+    }
     background_work_finished_signal_.notify_all();
+    if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+      break;
+    }
+    // Completed work may enable more (a flush created level-0 work, a
+    // finished merge released its claims); refill before the next round.
+    if (options_.compaction_style == CompactionStyle::kLdc) {
+      DoLdcLinkWork();
+    }
+    FillJobQueue();
   }
-  background_compaction_scheduled_ = false;
-  // A writer may have switched memtables after the loop drained but before
-  // the flag cleared; re-check so that work is not orphaned.
+  bg_jobs_scheduled_--;
+  // A writer may have switched memtables after the queue drained but
+  // before this call exited; re-check so that work is not orphaned.
   MaybeScheduleCompaction();
   background_work_finished_signal_.notify_all();
   mutex_.unlock();
 }
 
-bool DBImpl::ExecuteOneBackgroundJob() {
-  // 1. Flushing the immutable memtable has priority: user writes stall
-  //    behind it.
-  if (imm_ != nullptr) {
-    CompactMemTable();
-    return true;
-  }
-
+void DBImpl::ExecuteBackgroundJob(BackgroundJob* job) {
   const uint64_t start_us = NowMicros();
-  bool did_work = false;
-
-  if (options_.compaction_style == CompactionStyle::kTiered) {
-    // 2c. Lazy baseline: merge a tier of similarly-sized level-0 files.
-    uint64_t total_bytes = 0;
-    std::vector<uint64_t> group = PickTieredGroup(&total_bytes);
-    if (!group.empty()) {
-      Status s = DoTieredMerge(group);
-      if (!s.ok()) RecordBackgroundError(s);
-      did_work = true;
-    }
-  } else if (options_.compaction_style == CompactionStyle::kLdc) {
-    // 2a. LDC: run the (instant, metadata-only) link phase, then the next
-    //     queued merge if any lower file crossed T_s. Safe here: this is
-    //     the only background call, so no merge is concurrently in flight.
-    DoLdcLinkWork();
-    if (!pending_merges_.empty()) {
-      const uint64_t lower = pending_merges_.front();
-      pending_merges_.pop_front();
-      pending_merge_set_.erase(lower);
-      Status s = DoLdcMerge(lower);
-      if (!s.ok()) RecordBackgroundError(s);
-      did_work = true;
-    }
-  } else {
-    // 2b. UDC: pick a classic compaction. Trivial moves are pure metadata
-    //     and are applied instantly.
-    while (versions_->NeedsCompaction()) {
-      const uint64_t pick_start_us = env_->NowMicros();
-      Compaction* c = versions_->PickCompaction();
-      if (c == nullptr) break;
-      {
-        // Attribute the picking cost to the output level (count stays
-        // zero; only completed data work increments it).
-        CompactionStats pick_stats;
-        pick_stats.pick_micros = env_->NowMicros() - pick_start_us;
-        versions_->AddCompactionStats(c->level() + 1, pick_stats);
+  switch (job->kind) {
+    case kJobFlush: {
+      if (imm_ != nullptr) {
+        CompactMemTable();
       }
-      if (c->IsTrivialMove()) {
-        assert(c->num_input_files(0) == 1);
-        FileMetaData* f = c->input(0, 0);
-        c->edit()->RemoveFile(c->level(), f->number);
-        c->edit()->AddFile(c->level() + 1, f->number, f->file_size,
-                           f->smallest, f->largest);
-        Status s = versions_->LogAndApply(c->edit());
-        if (!s.ok()) {
-          RecordBackgroundError(s);
-        }
-        if (stats_ != nullptr) stats_->Record(kTrivialMoves);
-        delete c;
-        did_work = true;
-        continue;
-      }
-      BackgroundCompactionUdc(c);
-      did_work = true;
+      flush_claimed_ = false;
       break;
     }
+    case kJobLdcMerge: {
+      running_ldc_merges_++;
+      if (running_ldc_merges_ > max_parallel_merges_) {
+        max_parallel_merges_ = running_ldc_merges_;
+      }
+      if (stats_ != nullptr) {
+        stats_->SetGauge(kLdcMergesRunning, running_ldc_merges_);
+      }
+      Status s = DoLdcMerge(job->lower_file);
+      running_ldc_merges_--;
+      if (stats_ != nullptr) {
+        stats_->SetGauge(kLdcMergesRunning, running_ldc_merges_);
+      }
+      merges_in_flight_.erase(job->lower_file);
+      if (!s.ok()) RecordBackgroundError(s);
+      break;
+    }
+    case kJobUdcCompaction: {
+      Compaction* c = job->compaction;
+      job->compaction = nullptr;
+      BackgroundCompactionUdc(c);  // Deletes c; records its own errors.
+      for (uint64_t n : job->claims) claimed_files_.erase(n);
+      break;
+    }
+    case kJobTieredMerge: {
+      Status s = DoTieredMerge(job->claims);
+      for (uint64_t n : job->claims) claimed_files_.erase(n);
+      if (!s.ok()) RecordBackgroundError(s);
+      break;
+    }
+    default:
+      assert(false);
   }
-
-  if (did_work && stats_ != nullptr) {
-    stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
-                          static_cast<double>(NowMicros() - start_us));
+  if (stats_ != nullptr) {
+    stats_->Record(kBgWorkUnits);
+    if (job->kind != kJobFlush) {
+      stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
+                            static_cast<double>(NowMicros() - start_us));
+    }
   }
-  return did_work;
 }
 
 bool DBImpl::ScheduleBackgroundWorkSim() {
-  if (background_compaction_scheduled_ || !bg_error_.ok() ||
+  // The simulated device timeline is single-threaded by construction, so
+  // sim runs always keep the single-job discipline (max_background_jobs is
+  // ignored): at most one job sits on the timeline, bg_jobs_scheduled_ is
+  // 0 or 1.
+  if (bg_jobs_scheduled_ > 0 || !bg_error_.ok() ||
       shutting_down_.load(std::memory_order_acquire)) {
     return false;
   }
 
   auto start_job = [this](int kind, uint64_t arg, uint64_t read_bytes,
                           uint64_t write_bytes, SimActivity activity) {
-    background_compaction_scheduled_ = true;
+    bg_jobs_scheduled_ = 1;
     sim_->ScheduleBackground(read_bytes, write_bytes, activity,
                              [this, kind, arg]() {
                                RunBackgroundJob(kind, arg);
@@ -1083,7 +1234,7 @@ void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
     stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
                           static_cast<double>(NowMicros() - start_us));
   }
-  background_compaction_scheduled_ = false;
+  bg_jobs_scheduled_ = 0;
   // Chain the next unit of background work (a flush may have been blocked
   // behind this job, or a merge may be queued).
   ScheduleBackgroundWorkSim();
@@ -1111,7 +1262,13 @@ void DBImpl::BackgroundCompactionUdc(Compaction* c) {
 std::vector<uint64_t> DBImpl::PickTieredGroup(uint64_t* total_bytes) {
   *total_bytes = 0;
   std::vector<uint64_t> result;
-  std::vector<FileMetaData*> files = versions_->current()->files(0);
+  std::vector<FileMetaData*> files;
+  // Exclude files already claimed by an in-flight tiered merge so that
+  // concurrently picked groups are disjoint (claimed_files_ is empty in
+  // sim / single-job runs).
+  for (FileMetaData* f : versions_->current()->files(0)) {
+    if (claimed_files_.count(f->number) == 0) files.push_back(f);
+  }
   if (static_cast<int>(files.size()) < options_.fan_out) return result;
   std::sort(files.begin(), files.end(),
             [](const FileMetaData* a, const FileMetaData* b) {
@@ -1222,11 +1379,14 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   }
   while (input->Valid() && status.ok() &&
          !shutting_down_.load(std::memory_order_acquire)) {
-    // Give a waiting flush priority over the (long) merge loop.
+    // Give a waiting flush priority over the (long) merge loop — unless a
+    // concurrent flush job already claimed it.
     if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
       mutex_.lock();
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !flush_claimed_) {
+        flush_claimed_ = true;
         CompactMemTable();
+        flush_claimed_ = false;
         background_work_finished_signal_.notify_all();
       }
       mutex_.unlock();
@@ -1297,6 +1457,11 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   const uint64_t loop_us = env_->NowMicros() - loop_start_us;
   mutex_.lock();
 
+  if (status.ok() && !bg_error_.ok()) {
+    // A concurrent job failed while this merge ran unlocked; do not
+    // install on top of a suspect manifest state.
+    status = bg_error_;
+  }
   if (status.ok()) {
     if (out.file_size > 0) {
       table_cache_->WarmTable(out.number, out.file_size);
@@ -1353,6 +1518,9 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
 // ---------------------------------------------------------------------------
 
 void DBImpl::EnqueueLdcMerge(uint64_t lower_file_number) {
+  if (merges_in_flight_.count(lower_file_number) != 0) {
+    return;  // A claimed merge is already rewriting this file.
+  }
   if (pending_merge_set_.insert(lower_file_number).second) {
     pending_merges_.push_back(lower_file_number);
   }
@@ -1371,7 +1539,10 @@ bool DBImpl::DoLdcLinkWork() {
     if (live > 0 && frozen > static_cast<uint64_t>(
                                  live * options_.frozen_space_limit_ratio)) {
       int count = 0;
-      uint64_t lower = versions_->registry()->MostLinkedLowerFile(&count);
+      // Skip lower files whose merge is already claimed by a running job;
+      // re-enqueueing them would be a no-op anyway.
+      uint64_t lower = versions_->registry()->MostLinkedLowerFile(
+          &count, &merges_in_flight_);
       if (lower != 0) {
         EnqueueLdcMerge(lower);
       }
@@ -1395,6 +1566,23 @@ bool DBImpl::DoLdcLinkWork() {
 
     LdcLinkPlan plan;
     BuildLdcLinkPlan(versions_, table_cache_, *upper, level, &plan);
+
+    // Defer any plan that would attach a slice to a lower file whose merge
+    // is in flight. The merge consumes exactly the links present in its
+    // snapshot (edit.ConsumeLinks); a link attached after that snapshot
+    // would be consumed without its data ever being merged — data loss.
+    bool conflicts_with_merge = false;
+    for (const LdcSlicePlan& slice : plan.slices) {
+      if (merges_in_flight_.count(slice.lower_file_number) != 0) {
+        conflicts_with_merge = true;
+        break;
+      }
+    }
+    if (conflicts_with_merge) {
+      // Retry after the merge installs; MaybeScheduleCompaction runs link
+      // work again whenever a job completes.
+      break;
+    }
 
     VersionEdit edit;
     // Assign link sequence numbers (monotonic; they define read priority
@@ -1457,9 +1645,11 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
 
   // Pin the link state alongside the version: the maps behind this snapshot
   // are immutable, so the slice metadata stays valid while the merge loop
-  // runs with the lock released. (No link work can run concurrently — the
-  // background slot is occupied by this merge — so the live registry and
-  // this snapshot agree for the whole merge.)
+  // runs with the lock released. Concurrent link work may run while this
+  // merge is unlocked, but DoLdcLinkWork defers any plan that would attach
+  // a slice to this lower file (it is claimed in merges_in_flight_), so the
+  // live registry's links for this file and this snapshot agree until the
+  // install below consumes them.
   std::shared_ptr<const LdcLinkState> link_state =
       versions_->registry()->snapshot();
   const std::vector<SliceLinkMeta>* links =
@@ -1599,11 +1789,14 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   }
   while (input->Valid() && status.ok() &&
          !shutting_down_.load(std::memory_order_acquire)) {
-    // Give a waiting flush priority over the (long) merge loop.
+    // Give a waiting flush priority over the (long) merge loop — unless a
+    // concurrent flush job already claimed it.
     if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
       mutex_.lock();
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !flush_claimed_) {
+        flush_claimed_ = true;
         CompactMemTable();
+        flush_claimed_ = false;
         background_work_finished_signal_.notify_all();
       }
       mutex_.unlock();
@@ -1680,10 +1873,18 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   delete input;
   mutex_.lock();
 
+  if (status.ok() && !bg_error_.ok()) {
+    // A concurrent job failed while this merge ran unlocked; do not
+    // install on top of a suspect manifest state.
+    status = bg_error_;
+  }
   if (status.ok()) {
     // Build the edit: replace the lower file with the merged outputs at the
     // same level, consume every link, and reclaim unreferenced frozen files
-    // (Algorithm 1, lines 17-22).
+    // (Algorithm 1, lines 17-22). The reclaimable set is computed against
+    // the LIVE registry under mutex_ at install time (installs are
+    // serialized), so with concurrent merges the frozen-table refcounts
+    // decrement in install order and only the last consumer reclaims.
     const std::vector<uint64_t> reclaimable =
         versions_->registry()->FrozenReclaimableAfterConsume(
             lower_file_number);
@@ -1912,11 +2113,14 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
   while (input->Valid() && !shutting_down_.load(std::memory_order_acquire)) {
-    // Give a waiting flush priority over the (long) compaction loop.
+    // Give a waiting flush priority over the (long) compaction loop —
+    // unless a concurrent flush job already claimed it.
     if (sim_ == nullptr && has_imm_.load(std::memory_order_relaxed)) {
       mutex_.lock();
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !flush_claimed_) {
+        flush_claimed_ = true;
         CompactMemTable();
+        flush_claimed_ = false;
         background_work_finished_signal_.notify_all();
       }
       mutex_.unlock();
@@ -2014,6 +2218,11 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   input = nullptr;
   mutex_.lock();
 
+  if (status.ok() && !bg_error_.ok()) {
+    // A concurrent job failed while this compaction ran unlocked; do not
+    // install on top of a suspect manifest state.
+    status = bg_error_;
+  }
   if (status.ok()) {
     if (stats_ != nullptr) {
       stats_->Record(kCompactions);
@@ -2402,7 +2611,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           sim_->WaitForNextBackgroundJob();
           mutex_.lock();
         }
-      } else if (background_compaction_scheduled_) {
+      } else if (bg_jobs_scheduled_ > 0 || manual_compaction_active_) {
         background_work_finished_signal_.wait(mutex_);
       } else if (imm_ != nullptr && bg_error_.ok()) {
         // No background call outstanding yet the imm_ persists: with an
@@ -2428,7 +2637,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
           sim_->WaitForNextBackgroundJob();
           mutex_.lock();
         }
-      } else if (background_compaction_scheduled_) {
+      } else if (bg_jobs_scheduled_ > 0 || manual_compaction_active_) {
         background_work_finished_signal_.wait(mutex_);
       } else if (versions_->NumLevelFiles(0) >= options_.l0_stop_trigger &&
                  bg_error_.ok()) {
@@ -2476,7 +2685,7 @@ Status DBImpl::WaitForIdle() {
       mutex_.lock();
       MaybeScheduleCompaction();
       const bool pending = sim_->HasPendingBackgroundJobs() ||
-                           background_compaction_scheduled_ ||
+                           bg_jobs_scheduled_ > 0 ||
                            imm_ != nullptr || !pending_merges_.empty();
       const Status err = bg_error_;
       mutex_.unlock();
@@ -2489,8 +2698,8 @@ Status DBImpl::WaitForIdle() {
   mutex_.lock();
   while (true) {
     MaybeScheduleCompaction();
-    const bool pending = background_compaction_scheduled_ || imm_ != nullptr ||
-                         !pending_merges_.empty();
+    const bool pending = bg_jobs_scheduled_ > 0 || !job_queue_.empty() ||
+                         imm_ != nullptr || !pending_merges_.empty();
     if (!pending || !bg_error_.ok() ||
         shutting_down_.load(std::memory_order_acquire)) {
       break;
@@ -2637,6 +2846,16 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     w.KV("bytes", versions_->registry()->TotalFrozenBytes());
     w.EndObject();
     w.KV("slice_link_threshold", EffectiveSliceThresholdLocked());
+    w.Key("background");
+    w.BeginObject();
+    w.KV("max_jobs", options_.max_background_jobs);
+    w.KV("jobs_running", bg_jobs_running_);
+    w.KV("max_parallel_merges", max_parallel_merges_);
+    w.EndObject();
+    w.KV("block_cache_usage",
+         static_cast<uint64_t>(options_.block_cache != nullptr
+                                   ? options_.block_cache->TotalCharge()
+                                   : 0));
     if (stats_ != nullptr) {
       w.Key("statistics");
       w.Raw(stats_->ToJson());
@@ -2662,6 +2881,18 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == "level-summary") {
     *value = versions_->LevelSummary();
+    return true;
+  } else if (in == "block-cache-usage") {
+    *value = NumberToString(options_.block_cache != nullptr
+                                ? options_.block_cache->TotalCharge()
+                                : 0);
+    return true;
+  } else if (in == "bg-jobs-running") {
+    *value = NumberToString(static_cast<uint64_t>(bg_jobs_running_));
+    return true;
+  } else if (in == "parallel-merges") {
+    // Peak number of LDC merges observed running simultaneously.
+    *value = NumberToString(static_cast<uint64_t>(max_parallel_merges_));
     return true;
   }
 
@@ -2748,15 +2979,18 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     sim_->Drain();
   }
   mutex_.lock();
-  while (sim_ == nullptr && background_compaction_scheduled_ &&
-         bg_error_.ok()) {
+  // Wait until every background worker has exited and no claimed job is
+  // left queued (workers drain the queue before exiting, so both counts
+  // reach zero together unless a background error aborted the queue).
+  while (sim_ == nullptr &&
+         (bg_jobs_scheduled_ > 0 || !job_queue_.empty()) && bg_error_.ok()) {
     background_work_finished_signal_.wait(mutex_);
   }
   Compaction* c = versions_->CompactRange(level, begin_key, end_key);
   if (c != nullptr) {
-    // Claim the single background slot so MaybeScheduleCompaction does not
-    // start a concurrent job while we run this compaction inline.
-    background_compaction_scheduled_ = true;
+    // Block MaybeScheduleCompaction from launching competing jobs while we
+    // run this compaction inline.
+    manual_compaction_active_ = true;
     CompactionState* compact = new CompactionState(c);
     Status status = DoCompactionWork(compact);
     if (!status.ok()) {
@@ -2766,7 +3000,7 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     c->ReleaseInputs();
     delete c;
     RemoveObsoleteFiles();
-    background_compaction_scheduled_ = false;
+    manual_compaction_active_ = false;
     background_work_finished_signal_.notify_all();
     MaybeScheduleCompaction();
   }
@@ -2793,7 +3027,7 @@ Status DBImpl::TEST_CompactMemTable() {
       while (imm_ != nullptr && bg_error_.ok()) {
         MaybeScheduleCompaction();
         if (imm_ == nullptr || !bg_error_.ok()) break;
-        if (background_compaction_scheduled_) {
+        if (bg_jobs_scheduled_ > 0) {
           background_work_finished_signal_.wait(mutex_);
         } else {
           break;  // Nothing scheduled yet the imm_ persists: give up.

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "db/dbformat.h"
 #include "db/snapshot.h"
@@ -117,33 +118,56 @@ class DBImpl : public DB {
   Status CompactMemTable() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // --- Background-work orchestration -----------------------------------
-  // At most one background job (flush, UDC compaction, LDC merge, tiered
-  // merge) is outstanding at a time, mirroring LevelDB's single compaction
-  // thread. Three execution regimes share the same job bodies:
+  // Up to options_.max_background_jobs work units (one flush plus any set
+  // of mutually non-conflicting compactions / LDC merges) run concurrently.
+  // FillJobQueue() picks and *claims* units under mutex_ — an LDC merge
+  // claims its lower file (merges_in_flight_), a UDC compaction / tiered
+  // merge claims its input file numbers (claimed_files_), the flush claims
+  // the single flush slot (flush_claimed_) — so no two in-flight jobs ever
+  // touch the same file. Version installs, manifest writes, and frozen-file
+  // refcount decrements all happen inside VersionSet::LogAndApply with
+  // mutex_ held, so they stay serialized no matter how many jobs run.
+  // Three execution regimes share the same job bodies:
   //
   //  * Simulation (sim_ != nullptr): jobs are registered on the simulated
   //    device timeline by ScheduleBackgroundWorkSim() and their data work
   //    runs inside RunBackgroundJob() when the virtual clock passes the
   //    job's completion time (SimContext::Pump / WaitForNextBackgroundJob /
-  //    Drain — always invoked with mutex_ released). Single threaded and
-  //    deterministic.
-  //  * Threaded Env (PosixEnv): MaybeScheduleCompaction() hands BGWork off
-  //    to Env::Schedule's thread pool; BackgroundCall() loops running work
-  //    units until none remain, signalling background_work_finished_signal_
-  //    after each one.
+  //    Drain — always invoked with mutex_ released). Single threaded,
+  //    deterministic, and always single-job (max_background_jobs is
+  //    ignored under the simulator).
+  //  * Threaded Env (PosixEnv): MaybeScheduleCompaction() fills the job
+  //    queue and hands up to max_background_jobs BGWork calls to
+  //    Env::Schedule's thread pool; each BackgroundCall() loops, executing
+  //    queued jobs and refilling the queue until none remain, signalling
+  //    background_work_finished_signal_ after each one.
   //  * Inline Env (default Env::Schedule runs the function before
   //    returning): the same BackgroundCall() drains all work synchronously
   //    inside MaybeScheduleCompaction(), which is why that method releases
   //    the mutex around the Schedule call.
 
+  // A claimed unit of background work awaiting a worker.
+  struct BackgroundJob {
+    int kind = 0;                      // BackgroundJobKind (db_impl.cc)
+    uint64_t lower_file = 0;           // LDC merge: the claimed lower file
+    Compaction* compaction = nullptr;  // UDC: picked compaction (owned)
+    // File numbers held in claimed_files_ (UDC inputs / tiered group).
+    std::vector<uint64_t> claims;
+  };
+
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
-  // Cheap, side-effect-free check whether a background work unit exists.
-  bool HasPendingBackgroundWork() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Picks and claims schedulable work units into job_queue_ until the
+  // queue plus the running jobs reach max_background_jobs or no
+  // non-conflicting unit remains. Applies UDC trivial moves inline.
+  void FillJobQueue() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   static void BGWork(void* db);
   void BackgroundCall();
-  // Runs one unit of background work (flush, one compaction/merge).
-  // Returns true if any work was performed.
-  bool ExecuteOneBackgroundJob() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Runs one claimed job and releases its claims.
+  void ExecuteBackgroundJob(BackgroundJob* job)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Drops every queued (not yet running) job, releasing its claims, and
+  // clears the LDC merge queue. Called on background error and shutdown.
+  void AbortQueuedJobs() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Simulation path: registers (at most) one job on the device timeline.
   // Returns true if a job was scheduled.
@@ -243,9 +267,25 @@ class DBImpl : public DB {
   // part of ongoing compactions.
   std::set<uint64_t> pending_outputs_;
 
-  // True while a background call is scheduled or running (threaded/inline
-  // Env), or while a job sits on the simulated device timeline (sim).
-  bool background_compaction_scheduled_;
+  // Number of background calls scheduled or running (threaded/inline Env;
+  // bounded by options_.max_background_jobs), or 1 while a job sits on the
+  // simulated device timeline (sim).
+  int bg_jobs_scheduled_;
+  // Number of work units currently executing (always <= bg_jobs_scheduled_).
+  int bg_jobs_running_ = 0;
+  // Claimed jobs waiting for a worker (threaded/inline Env only).
+  std::deque<BackgroundJob> job_queue_;
+  // Claim table — see the orchestration comment above.
+  bool flush_claimed_ = false;
+  std::set<uint64_t> merges_in_flight_;  // LDC lower files (queued + running)
+  std::set<uint64_t> claimed_files_;     // UDC / tiered input file numbers
+  // LDC merges currently executing, and the high-water mark over the DB's
+  // lifetime (the "ldc.parallel-merges" property).
+  int running_ldc_merges_ = 0;
+  int max_parallel_merges_ = 0;
+  // Set while TEST_CompactRange runs a manual compaction inline; blocks
+  // MaybeScheduleCompaction from launching competing jobs.
+  bool manual_compaction_active_ = false;
   // The UDC compaction whose sim job is currently scheduled (at most one).
   Compaction* scheduled_udc_ = nullptr;
 

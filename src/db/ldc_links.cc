@@ -126,10 +126,14 @@ std::vector<uint64_t> LdcLinkState::FrozenReclaimableAfterConsume(
   return result;
 }
 
-uint64_t LdcLinkState::MostLinkedLowerFile(int* link_count) const {
+uint64_t LdcLinkState::MostLinkedLowerFile(
+    int* link_count, const std::set<uint64_t>* exclude) const {
   uint64_t best = 0;
   int best_count = 0;
   for (const auto& kvp : links) {
+    if (exclude != nullptr && exclude->count(kvp.first) != 0) {
+      continue;
+    }
     if (static_cast<int>(kvp.second.size()) > best_count) {
       best = kvp.first;
       best_count = static_cast<int>(kvp.second.size());

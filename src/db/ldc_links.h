@@ -64,8 +64,13 @@ struct LdcLinkState {
       uint64_t lower_file_number) const;
 
   // The lower file with the most slice links; returns 0 when no links
-  // exist. Used by the frozen-space safety valve.
-  uint64_t MostLinkedLowerFile(int* link_count) const;
+  // exist. Used by the frozen-space safety valve. When `exclude` is
+  // non-null, files in it are skipped — the multi-job scheduler passes the
+  // set of lower files whose merge is already claimed, so the valve picks
+  // the most-linked file that can actually be enqueued.
+  uint64_t MostLinkedLowerFile(int* link_count,
+                               const std::set<uint64_t>* exclude =
+                                   nullptr) const;
 
   // Accounting (paper §IV-J space overhead).
   uint64_t TotalFrozenBytes() const;
@@ -117,8 +122,10 @@ class LdcLinkRegistry {
   std::vector<uint64_t> FrozenReclaimableAfterConsume(uint64_t n) const {
     return state_->FrozenReclaimableAfterConsume(n);
   }
-  uint64_t MostLinkedLowerFile(int* link_count) const {
-    return state_->MostLinkedLowerFile(link_count);
+  uint64_t MostLinkedLowerFile(int* link_count,
+                               const std::set<uint64_t>* exclude =
+                                   nullptr) const {
+    return state_->MostLinkedLowerFile(link_count, exclude);
   }
   uint64_t TotalFrozenBytes() const { return state_->TotalFrozenBytes(); }
   size_t FrozenFileCount() const { return state_->FrozenFileCount(); }

@@ -1303,7 +1303,7 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   return result;
 }
 
-Compaction* VersionSet::PickCompaction() {
+Compaction* VersionSet::PickCompaction(const std::set<uint64_t>* claimed) {
   // We only consider size-based compactions (seek-based compactions are
   // not modeled; the paper's workloads are dominated by size triggers).
   if (!(current_->compaction_score_ >= 1)) {
@@ -1314,9 +1314,14 @@ Compaction* VersionSet::PickCompaction() {
   assert(level + 1 < num_levels_);
   Compaction* c = new Compaction(options_, level, num_levels_);
 
-  // Pick the first file that comes after compact_pointer_[level]
+  const auto is_claimed = [claimed](const FileMetaData* f) {
+    return claimed != nullptr && claimed->count(f->number) != 0;
+  };
+
+  // Pick the first unclaimed file that comes after compact_pointer_[level]
   for (size_t i = 0; i < current_->files_[level].size(); i++) {
     FileMetaData* f = current_->files_[level][i];
+    if (is_claimed(f)) continue;
     if (compact_pointer_[level].empty() ||
         icmp_.Compare(f->largest.Encode(), compact_pointer_[level]) > 0) {
       c->inputs_[0].push_back(f);
@@ -1325,7 +1330,18 @@ Compaction* VersionSet::PickCompaction() {
   }
   if (c->inputs_[0].empty()) {
     // Wrap-around to the beginning of the key space
-    c->inputs_[0].push_back(current_->files_[level][0]);
+    for (size_t i = 0; i < current_->files_[level].size(); i++) {
+      FileMetaData* f = current_->files_[level][i];
+      if (!is_claimed(f)) {
+        c->inputs_[0].push_back(f);
+        break;
+      }
+    }
+  }
+  if (c->inputs_[0].empty()) {
+    // Every candidate at this level is claimed by a running job.
+    delete c;
+    return nullptr;
   }
 
   c->input_version_ = current_;

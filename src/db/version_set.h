@@ -268,7 +268,10 @@ class VersionSet {
   // Returns nullptr if there is no compaction to be done.
   // Otherwise returns a pointer to a heap-allocated object that
   // describes the compaction. Caller should delete the result.
-  Compaction* PickCompaction();
+  // When `claimed` is non-null, files whose numbers appear in it are
+  // skipped when choosing the seed input — they are inputs of a
+  // compaction already claimed by another background job.
+  Compaction* PickCompaction(const std::set<uint64_t>* claimed = nullptr);
 
   // Return a compaction object for compacting the range [begin,end] in
   // the specified level. Returns nullptr if there is nothing in that

@@ -263,14 +263,17 @@ class PosixThreadPool {
 
   static int NumThreads() {
     // LDCKV_BACKGROUND_THREADS overrides the default pool size (useful for
-    // stress tests); one DB schedules at most one job at a time, so the
-    // pool mostly matters when several DBs share the default Env.
+    // stress tests). A DB schedules up to Options::max_background_jobs
+    // concurrent calls, so the default pool scales with the machine:
+    // half the hardware threads, clamped to [2, 8].
     if (const char* env = std::getenv("LDCKV_BACKGROUND_THREADS")) {
       const int n = std::atoi(env);
       if (n >= 1 && n <= 64) return n;
     }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 8 ? 4 : 2;
+    if (hw == 0) return 2;
+    const unsigned n = hw / 2;
+    return n < 2 ? 2 : (n > 8 ? 8 : static_cast<int>(n));
   }
 
   void WorkerLoop() {

@@ -32,6 +32,13 @@ const char* const kTickerNames[kTickerCount] = {
     "seeks",
     "stall.micros",
     "slowdown.micros",
+    "bg.jobs.scheduled",
+    "bg.work.units",
+};
+
+const char* const kGaugeNames[kGaugeCount] = {
+    "bg.jobs.running",
+    "ldc.merges.running",
 };
 
 const char* const kHistogramNames[static_cast<uint32_t>(
@@ -46,6 +53,8 @@ const char* const kHistogramNames[static_cast<uint32_t>(
 }  // namespace
 
 const char* TickerName(Ticker ticker) { return kTickerNames[ticker]; }
+
+const char* GaugeName(Gauge gauge) { return kGaugeNames[gauge]; }
 
 const char* OpHistogramName(OpHistogram histogram) {
   return kHistogramNames[static_cast<uint32_t>(histogram)];
@@ -72,6 +81,9 @@ void Statistics::Reset() {
   for (uint32_t i = 0; i < kTickerCount; i++) {
     tickers_[i].store(0, std::memory_order_relaxed);
   }
+  for (uint32_t i = 0; i < kGaugeCount; i++) {
+    gauges_[i].store(0, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> l(histogram_mutex_);
   for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
        i++) {
@@ -87,6 +99,12 @@ std::string Statistics::ToString() const {
     snprintf(buf, sizeof(buf), "%-28s : %llu\n", kTickerNames[i],
              static_cast<unsigned long long>(
                  tickers_[i].load(std::memory_order_relaxed)));
+    result.append(buf);
+  }
+  for (uint32_t i = 0; i < kGaugeCount; i++) {
+    snprintf(buf, sizeof(buf), "%-28s : %llu\n", kGaugeNames[i],
+             static_cast<unsigned long long>(
+                 gauges_[i].load(std::memory_order_relaxed)));
     result.append(buf);
   }
   for (uint32_t i = 0; i < static_cast<uint32_t>(OpHistogram::kHistogramCount);
@@ -107,6 +125,12 @@ std::string Statistics::ToJson() const {
   w.BeginObject();
   for (uint32_t i = 0; i < kTickerCount; i++) {
     w.KV(kTickerNames[i], tickers_[i].load(std::memory_order_relaxed));
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (uint32_t i = 0; i < kGaugeCount; i++) {
+    w.KV(kGaugeNames[i], gauges_[i].load(std::memory_order_relaxed));
   }
   w.EndObject();
   w.Key("histograms");

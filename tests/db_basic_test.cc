@@ -5,6 +5,7 @@
 
 #include "ldc/db.h"
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -304,8 +305,37 @@ TEST_P(DBBasicTest, GetProperty) {
   EXPECT_TRUE(db_->GetProperty("ldc.total-bytes", &value));
   EXPECT_TRUE(db_->GetProperty("ldc.frozen-bytes", &value));
   EXPECT_TRUE(db_->GetProperty("ldc.slice-link-threshold", &value));
+  EXPECT_TRUE(db_->GetProperty("ldc.block-cache-usage", &value));
+  EXPECT_TRUE(db_->GetProperty("ldc.bg-jobs-running", &value));
+  EXPECT_TRUE(db_->GetProperty("ldc.parallel-merges", &value));
   EXPECT_FALSE(db_->GetProperty("ldc.no-such-property", &value));
   EXPECT_FALSE(db_->GetProperty("other.prefix", &value));
+}
+
+TEST_P(DBBasicTest, BlockCacheCapacityOptionIsUsed) {
+  // With no explicit Options::block_cache, the DB builds its own cache at
+  // block_cache_capacity; reads populate it, and the usage property tracks
+  // its charge.
+  db_.reset();
+  Options options = MakeOptions();
+  options.block_cache = nullptr;
+  options.block_cache_capacity = 512 * 1024;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  db_.reset(raw);
+
+  std::string value;
+  for (int i = 0; i < 800; i++) {
+    ASSERT_TRUE(Put(MakeKey(i), std::string(200, 'b')).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  for (int i = 0; i < 800; i++) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), MakeKey(i), &value).ok());
+  }
+  ASSERT_TRUE(db_->GetProperty("ldc.block-cache-usage", &value));
+  const uint64_t usage = strtoull(value.c_str(), nullptr, 10);
+  EXPECT_GT(usage, 0u);
+  EXPECT_LE(usage, 512u * 1024);
 }
 
 TEST_P(DBBasicTest, DeletesThroughCompactions) {

@@ -6,6 +6,7 @@
 // background threads. Run under TSan in CI.
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,11 +16,19 @@
 #include "gtest/gtest.h"
 #include "ldc/db.h"
 #include "ldc/env.h"
+#include "ldc/listener.h"
 #include "workload/key_generator.h"
 
 namespace ldc {
 
 namespace {
+
+// The parallel-job tests below need a pool with at least 4 threads; size it
+// before the POSIX Env lazily starts (no effect if the user already set it).
+[[maybe_unused]] const bool kPoolSized = [] {
+  setenv("LDCKV_BACKGROUND_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 // In-memory files + real background threads: forwards file operations to a
 // MemEnv and scheduling to the default (POSIX) Env.
@@ -262,6 +271,336 @@ INSTANTIATE_TEST_SUITE_P(Styles, DBConcurrencyTest,
                                          CompactionStyle::kLdc,
                                          CompactionStyle::kTiered),
                          StyleName);
+
+// --- Multi-job scheduler (Options::max_background_jobs > 1) ---------------
+
+// Counts overlapping background jobs from listener callbacks. Callbacks run
+// on the worker threads (with the DB mutex held), so plain atomics suffice;
+// never call back into the DB from here.
+class OverlapListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo&) override {
+    flushes_running_.fetch_add(1, std::memory_order_acq_rel);
+    if (merges_running_.load(std::memory_order_acquire) > 0) {
+      flush_merge_overlaps_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void OnFlushCompleted(const FlushJobInfo&) override {
+    flushes_running_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  void OnCompactionBegin(const CompactionJobInfo& info) override {
+    if (info.style != CompactionStyle::kLdc) return;
+    const int now = merges_running_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int peak = peak_merges_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_merges_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    if (flushes_running_.load(std::memory_order_acquire) > 0) {
+      flush_merge_overlaps_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void OnCompactionCompleted(const CompactionJobInfo& info) override {
+    if (info.style != CompactionStyle::kLdc) return;
+    merges_running_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  int peak_merges() const {
+    return peak_merges_.load(std::memory_order_acquire);
+  }
+  int flush_merge_overlaps() const {
+    return flush_merge_overlaps_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> merges_running_{0};
+  std::atomic<int> flushes_running_{0};
+  std::atomic<int> peak_merges_{0};
+  std::atomic<int> flush_merge_overlaps_{0};
+};
+
+class DBParallelJobsTest : public testing::TestWithParam<CompactionStyle> {
+ protected:
+  DBParallelJobsTest()
+      : mem_env_(NewMemEnv()), env_(new ThreadedMemEnv(mem_env_.get())) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = GetParam();
+    options_.max_background_jobs = 4;
+    options_.write_buffer_size = 16 * 1024;
+    options_.max_file_size = 16 * 1024;
+    options_.level1_max_bytes = 64 * 1024;
+    Open();
+  }
+
+  ~DBParallelJobsTest() override { db_.reset(); }
+
+  void Open() {
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBParallelJobsTest, ShadowMapUnderParallelJobs) {
+  // Same disjoint-range shadow-map check as the single-job test, but with
+  // up to 4 concurrent background jobs installing edits under the writers.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2500;
+  std::vector<std::map<std::string, std::string>> shadows(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::map<std::string, std::string>& shadow = shadows[t];
+      for (int i = 0; i < kOpsPerThread; i++) {
+        const int id = t * 1000 + (i * 13) % 600;
+        const std::string key = MakeKey(id);
+        if (i % 7 == 6 && !shadow.empty()) {
+          db_->Delete(WriteOptions(), key);
+          shadow.erase(key);
+        } else {
+          const std::string value =
+              std::to_string(t) + ":" + std::to_string(i) +
+              std::string(70, 'z');
+          db_->Put(WriteOptions(), key, value);
+          shadow[key] = value;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  std::map<std::string, std::string> expected;
+  for (const auto& shadow : shadows) {
+    expected.insert(shadow.begin(), shadow.end());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto it = expected.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+    ASSERT_NE(expected.end(), it);
+    EXPECT_EQ(it->first, iter->key().ToString());
+    EXPECT_EQ(it->second, iter->value().ToString());
+  }
+  EXPECT_EQ(expected.end(), it);
+  ASSERT_TRUE(iter->status().ok());
+}
+
+TEST_P(DBParallelJobsTest, CloseWhileParallelJobsInFlight) {
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i % 700),
+                         std::string(100, 'w'))
+                    .ok());
+  }
+  db_.reset();  // No WaitForIdle on purpose: drains up to 4 workers.
+
+  Open();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), MakeKey(699), &value).ok());
+  EXPECT_EQ(std::string(100, 'w'), value);
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, DBParallelJobsTest,
+                         testing::Values(CompactionStyle::kUdc,
+                                         CompactionStyle::kLdc,
+                                         CompactionStyle::kTiered),
+                         StyleName);
+
+// --- LDC-specific parallel merges -----------------------------------------
+
+class DBParallelLdcTest : public testing::Test {
+ protected:
+  DBParallelLdcTest()
+      : mem_env_(NewMemEnv()), env_(new ThreadedMemEnv(mem_env_.get())) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = CompactionStyle::kLdc;
+    options_.max_background_jobs = 4;
+    // Tiny buffers + a low slice threshold: merges trigger constantly, on
+    // many distinct lower tables, so several get claimed at once.
+    options_.write_buffer_size = 8 * 1024;
+    options_.max_file_size = 8 * 1024;
+    options_.level1_max_bytes = 32 * 1024;
+    options_.slice_link_threshold = 2;
+    options_.listeners.push_back(&listener_);
+  }
+
+  ~DBParallelLdcTest() override { db_.reset(); }
+
+  void Open() {
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  OverlapListener listener_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBParallelLdcTest, ParallelMergesOverlapWithFlush) {
+  Open();
+  // Write (with occasional deletes) until the listener has observed two LDC
+  // merges running at once plus a flush overlapping a merge, maintaining a
+  // shadow map throughout. Spread keys over a wide space so links attach to
+  // many disjoint lower tables.
+  constexpr int kKeySpace = 4000;
+  constexpr int kMaxRounds = 60;
+  constexpr int kOpsPerRound = 2000;
+  std::map<std::string, std::string> shadow;
+  uint64_t op = 0;
+  for (int round = 0; round < kMaxRounds; round++) {
+    for (int i = 0; i < kOpsPerRound; i++, op++) {
+      const int id =
+          static_cast<int>((op * 2654435761ull) % kKeySpace);
+      const std::string key = MakeKey(id);
+      if (op % 11 == 10 && !shadow.empty()) {
+        ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+        shadow.erase(key);
+      } else {
+        const std::string value =
+            std::to_string(op) + std::string(90, 's');
+        ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+        shadow[key] = value;
+      }
+    }
+    if (listener_.peak_merges() >= 2 &&
+        listener_.flush_merge_overlaps() >= 1) {
+      break;
+    }
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  // The scheduler must actually have run merges in parallel...
+  EXPECT_GE(listener_.peak_merges(), 2);
+  EXPECT_GE(listener_.flush_merge_overlaps(), 1);
+  std::string prop;
+  ASSERT_TRUE(db_->GetProperty("ldc.parallel-merges", &prop));
+  EXPECT_GE(std::stoi(prop), 2);
+
+  // ...and the data must still read back exactly.
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto it = shadow.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+    ASSERT_NE(shadow.end(), it);
+    EXPECT_EQ(it->first, iter->key().ToString());
+    EXPECT_EQ(it->second, iter->value().ToString());
+  }
+  EXPECT_EQ(shadow.end(), it);
+  ASSERT_TRUE(iter->status().ok());
+}
+
+TEST_F(DBParallelLdcTest, CloseWhileParallelMerging) {
+  Open();
+  // Build up enough state that merges are running (or at least queued) at
+  // close time, then close without draining. Every acked write must be
+  // readable after reopen.
+  std::map<std::string, std::string> shadow;
+  for (uint64_t op = 0; op < 30000; op++) {
+    const int id = static_cast<int>((op * 2654435761ull) % 3000);
+    const std::string key = MakeKey(id);
+    const std::string value = std::to_string(op) + std::string(90, 'c');
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    shadow[key] = value;
+    if (op > 5000 && listener_.peak_merges() >= 2) break;
+  }
+  db_.reset();  // No WaitForIdle on purpose.
+
+  Open();
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto it = shadow.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+    ASSERT_NE(shadow.end(), it);
+    EXPECT_EQ(it->first, iter->key().ToString());
+    EXPECT_EQ(it->second, iter->value().ToString());
+  }
+  EXPECT_EQ(shadow.end(), it);
+  ASSERT_TRUE(iter->status().ok());
+}
+
+// --- Background-error propagation with queued jobs -------------------------
+
+// Fails table-file creation (*.ldb) when armed; WAL and manifest writes keep
+// working, so acked writes stay durable and recoverable.
+class FailingEnv : public EnvWrapper {
+ public:
+  explicit FailingEnv(Env* t) : EnvWrapper(t) {}
+
+  Status NewWritableFile(const std::string& f, WritableFile** r) override {
+    if (fail_tables_.load(std::memory_order_acquire) && IsTableFile(f)) {
+      return Status::IOError(f, "injected table write failure");
+    }
+    return EnvWrapper::NewWritableFile(f, r);
+  }
+
+  static bool IsTableFile(const std::string& f) {
+    return f.size() > 4 && f.compare(f.size() - 4, 4, ".ldb") == 0;
+  }
+
+  std::atomic<bool> fail_tables_{false};
+};
+
+TEST_F(DBParallelLdcTest, BackgroundErrorAbortsQueuedJobs) {
+  auto failing_env = std::make_unique<FailingEnv>(env_.get());
+  options_.env = failing_env.get();
+  Open();
+
+  // Phase 1: healthy writes; remember every acked key.
+  std::map<std::string, std::string> acked;
+  for (uint64_t op = 0; op < 6000; op++) {
+    const int id = static_cast<int>((op * 2654435761ull) % 2000);
+    const std::string key = MakeKey(id);
+    const std::string value = std::to_string(op) + std::string(90, 'e');
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    acked[key] = value;
+  }
+
+  // Phase 2: every table write now fails. Some background job (flush or
+  // merge) hits the error; the scheduler must record it, abort the whole
+  // queue, and surface the error to writers — not hang with queued jobs.
+  failing_env->fail_tables_.store(true, std::memory_order_release);
+  bool saw_error = false;
+  for (uint64_t op = 0; op < 30000 && !saw_error; op++) {
+    const int id = static_cast<int>((op * 2654435761ull) % 2000);
+    const std::string key = MakeKey(id);
+    const std::string value = std::to_string(op) + std::string(90, 'f');
+    Status s = db_->Put(WriteOptions(), key, value);
+    if (s.ok()) {
+      acked[key] = value;
+    } else {
+      saw_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_FALSE(db_->WaitForIdle().ok());
+
+  // Close with the error set and jobs (previously) queued: must not hang.
+  db_.reset();
+
+  // Recovery with a healthy Env: every acked write must be readable (the
+  // WAL kept working through the injected table failures).
+  failing_env->fail_tables_.store(false, std::memory_order_release);
+  Open();
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  std::string value;
+  for (const auto& kv : acked) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), kv.first, &value).ok()) << kv.first;
+    EXPECT_EQ(kv.second, value) << kv.first;
+  }
+  // The DB must not outlive the local FailingEnv it was opened on.
+  db_.reset();
+}
 
 }  // namespace
 
