@@ -16,6 +16,7 @@ namespace {
 
 int g_bench_threads = 1;
 int g_bench_bg_jobs = 1;
+int g_bench_shards = 1;
 
 // Emulated device write bandwidth for wall-clock mode. MemEnv file ops cost
 // no time, which makes background work purely CPU-bound — on a small
@@ -107,10 +108,19 @@ void InitBenchFlags(int argc, char** argv) {
         std::exit(2);
       }
       g_bench_bg_jobs = n;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      const int n = std::atoi(arg + 9);
+      if (n < 1 || (n & (n - 1)) != 0) {
+        std::fprintf(stderr,
+                     "fatal: --shards must be a power of two >= 1 (got %s)\n",
+                     arg + 9);
+        std::exit(2);
+      }
+      g_bench_shards = n;
     } else {
       std::fprintf(stderr,
                    "fatal: unknown flag %s (supported: --threads=N, "
-                   "--bg-jobs=N)\n",
+                   "--bg-jobs=N, --shards=N)\n",
                    arg);
       std::exit(2);
     }
@@ -131,6 +141,7 @@ BenchParams DefaultBenchParams() {
   params.key_space = ScaledOps(params.key_space);
   params.threads = g_bench_threads;
   params.bg_jobs = g_bench_bg_jobs;
+  params.shards = g_bench_shards;
   return params;
 }
 
@@ -142,10 +153,14 @@ BenchDb::BenchDb(const BenchParams& params)
       filter_policy_(params.bloom_bits_per_key > 0
                          ? NewBloomFilterPolicy(params.bloom_bits_per_key)
                          : nullptr) {
-  if (params.threads > 1) {
+  // Sharded runs are wall-clock even with one client thread: shard
+  // recovery and background work run on real threads.
+  const bool wall_clock = params.threads > 1 || params.shards > 1;
+  if (wall_clock) {
     threaded_env_ = std::make_unique<ThreadedMemEnv>(env_.get());
   }
   Options options;
+  options.num_shards = params.shards;
   // The DB builds (and owns) its block cache at this capacity.
   options.block_cache_capacity = params.block_cache_size;
   options.max_background_jobs = params.bg_jobs;
@@ -165,9 +180,9 @@ BenchDb::BenchDb(const BenchParams& params)
   options.frozen_space_limit_ratio = params.frozen_space_limit_ratio;
   options.filter_policy = filter_policy_.get();
   options.statistics = stats_.get();
-  // Wall-clock (multi-threaded) runs drop the simulator: the virtual device
-  // timeline is single-threaded by construction.
-  options.sim = params.threads > 1 ? nullptr : sim_.get();
+  // Wall-clock (multi-threaded or sharded) runs drop the simulator: the
+  // virtual device timeline is single-threaded by construction.
+  options.sim = wall_clock ? nullptr : sim_.get();
 
   DB* raw = nullptr;
   Status s = DB::Open(options, "/benchdb", &raw);
@@ -177,8 +192,9 @@ BenchDb::BenchDb(const BenchParams& params)
     std::abort();
   }
   db_.reset(raw);
-  driver_ = std::make_unique<WorkloadDriver>(
-      db_.get(), params.threads > 1 ? nullptr : sim_.get(), stats_.get());
+  driver_ = std::make_unique<WorkloadDriver>(db_.get(),
+                                             wall_clock ? nullptr : sim_.get(),
+                                             stats_.get());
 }
 
 BenchDb::~BenchDb() = default;
@@ -281,6 +297,7 @@ void ExportBenchJson(const std::string& tag, BenchDb& bench) {
   w.KV("style", StyleName(p.style));
   w.KV("threads", p.threads);
   w.KV("bg_jobs", p.bg_jobs);
+  w.KV("shards", p.shards);
   w.KV("block_cache_capacity", static_cast<uint64_t>(p.block_cache_size));
   w.KV("num_ops", p.num_ops);
   w.KV("key_space", p.key_space);

@@ -41,6 +41,10 @@ struct BenchParams {
   // meaningful in wall-clock mode (threads > 1): the simulator is always
   // single-job.
   int bg_jobs = 1;
+  // Options::num_shards (--shards=N, power of two). N > 1 opens the DB as
+  // a ShardedDB and forces wall-clock mode even with --threads=1: shards
+  // run real background threads, which the simulator cannot model.
+  int shards = 1;
   uint64_t num_ops = 60000;
   uint64_t key_space = 60000;
   size_t value_size = 256;
@@ -63,9 +67,9 @@ struct BenchParams {
   SsdModel ssd;
 };
 
-// Parses shared command-line flags (--threads=N, --bg-jobs=N). Call at the
-// top of every bench main; exits with an error on unknown flags. Parsed
-// values are applied by DefaultBenchParams().
+// Parses shared command-line flags (--threads=N, --bg-jobs=N, --shards=N).
+// Call at the top of every bench main; exits with an error on unknown
+// flags. Parsed values are applied by DefaultBenchParams().
 void InitBenchFlags(int argc, char** argv);
 
 // Default parameters, scaled by the LDCKV_BENCH_SCALE environment variable

@@ -43,18 +43,19 @@ int main(int argc, char** argv) {
       thpt[pass] = result.throughput_ops_per_sec;
       io[pass] = bench.stats()->Get(kCompactionReadBytes) +
                  bench.stats()->Get(kCompactionWriteBytes);
-      if (params.threads > 1) {
+      if (params.threads > 1 || params.shards > 1) {
         // Wall-clock mode: report the scheduler's behavior so --bg-jobs
-        // sweeps are comparable (stall time down, merge overlap up).
+        // and --shards sweeps are comparable (stall time down, merge
+        // overlap up, writers spread across shard WALs).
         const uint64_t stall_us = bench.stats()->Get(kStallMicros) +
                                   bench.stats()->Get(kSlowdownMicros);
         std::string merges = "0";
         bench.db()->GetProperty("ldc.parallel-merges", &merges);
-        std::printf("  [%s ops=%llu bg-jobs=%d] write-stall %llu us, peak "
-                    "parallel merges %s\n",
+        std::printf("  [%s ops=%llu bg-jobs=%d shards=%d] write-stall %llu "
+                    "us, peak parallel merges %s\n",
                     StyleName(params.style),
                     static_cast<unsigned long long>(params.num_ops),
-                    params.bg_jobs,
+                    params.bg_jobs, params.shards,
                     static_cast<unsigned long long>(stall_us),
                     merges.c_str());
       }

@@ -13,6 +13,7 @@ class Env;
 class EventListener;
 class FilterPolicy;
 class Logger;
+class ShardRouter;
 class SimContext;
 class Snapshot;
 class Statistics;
@@ -149,6 +150,32 @@ struct Options {
   int l0_compaction_trigger = 4;
   int l0_slowdown_trigger = 8;
   int l0_stop_trigger = 12;
+
+  // -------------------
+  // Sharding (see ldc/sharded_db.h and docs/SHARDING.md)
+
+  // Number of independent LSM trees the keyspace is hash-partitioned into.
+  // 1 (the default) opens a plain single-tree DB. A value > 1 must be a
+  // power of two; DB::Open then builds an ldc::ShardedDB — N internal DBs
+  // under <dbname>/shard-<k>/, each with its own memtable/WAL/manifest but
+  // sharing one block cache, one table-handle cache, one Statistics object
+  // and one Env thread pool. The shard count is persisted in a SHARDING
+  // file; reopening with a different value returns InvalidArgument.
+  // Not supported together with Options::sim (the simulator timeline is
+  // single-tree by construction).
+  int num_shards = 1;
+
+  // Maps user keys to shards. If null, a bytewise-hash router is used.
+  // The router's Name() is persisted in the SHARDING file and must match on
+  // reopen. Not owned; must outlive the DB. Ignored when num_shards == 1.
+  const ShardRouter* shard_router = nullptr;
+
+  // If non-null, SSTable handles (open files + index/filter blocks) are
+  // cached in this shared Cache instead of a per-DB one, giving several DBs
+  // one max_open_files budget. Each DB prefixes its cache keys with a
+  // unique Cache::NewId(), so instances never collide. ShardedDB injects
+  // one such cache into all of its shards. Not owned by the DB.
+  Cache* table_handle_cache = nullptr;
 
   // Maximum number of background work units (one memtable flush plus any
   // set of mutually non-conflicting compactions / LDC merges) the DB may

@@ -1,0 +1,123 @@
+// ldc::ShardedDB — one DB facade over N hash-partitioned shards.
+//
+// Each shard is a complete, independent plain DB (its own memtable, WAL,
+// and manifest) living in <name>/shard-<k>/, so writers on different
+// shards never contend on one memtable mutex or WAL tail and the
+// background scheduler can flush/compact shards concurrently. The shards
+// share one block cache, one SSTable-handle cache, one Statistics object,
+// and one Env thread pool, so memory and thread budgets stay global.
+// See docs/SHARDING.md for the full semantics.
+//
+// Open a sharded DB by setting Options::num_shards > 1 and calling
+// DB::Open as usual; it routes here. The shard count and router name are
+// persisted in <name>/SHARDING and must match on every reopen.
+
+#ifndef LDC_INCLUDE_SHARDED_DB_H_
+#define LDC_INCLUDE_SHARDED_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldc/db.h"
+
+namespace ldc {
+
+class Cache;
+
+// Maps user keys to shards. Implementations must be deterministic and
+// stateless: the same key must map to the same shard in every process
+// that ever opens the DB, since the mapping is baked into which shard
+// directory holds the key's data.
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  virtual ~ShardRouter();
+
+  // Persisted in the SHARDING marker file and checked on reopen, like a
+  // comparator name. Changing the routing scheme requires a new name.
+  virtual const char* Name() const = 0;
+
+  // Returns the shard for "key", in [0, num_shards). num_shards is a
+  // power of two.
+  virtual uint32_t Shard(const Slice& key, uint32_t num_shards) const = 0;
+};
+
+// The default router: a bytewise hash of the whole key, masked to
+// num_shards. The returned object is a process-lifetime singleton; do
+// not delete it.
+const ShardRouter* HashShardRouter();
+
+// The sharded engine behind DB::Open when options.num_shards > 1.
+//
+// Semantics relative to a plain DB (details in docs/SHARDING.md):
+//  - Put/Delete/Get route to one shard and behave identically.
+//  - Write splits the batch by shard; atomicity is per shard, with a
+//    preflight so a batch doomed on any involved shard fails before it
+//    is applied to any of them.
+//  - NewIterator k-way merges the per-shard iterators: a globally sorted
+//    view, but each shard's slice is only point-in-time per shard.
+//  - GetSnapshot returns a composite of per-shard snapshots taken one
+//    after another, not one cross-shard cut.
+//  - The simulator (Options::sim) is not supported: shards run real
+//    background threads. Open returns InvalidArgument if sim is set.
+class ShardedDB : public DB {
+ public:
+  // Called by DB::Open when options.num_shards != 1. Requires
+  // num_shards to be a power of two in [2, 1024], options.sim == nullptr,
+  // and — for an existing DB — num_shards and the router name to match
+  // the persisted SHARDING file.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  ShardedDB(const ShardedDB&) = delete;
+  ShardedDB& operator=(const ShardedDB&) = delete;
+
+  ~ShardedDB() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void GetApproximateSizes(const Range* range, int n,
+                           uint64_t* sizes) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status WaitForIdle() override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Testing: the shard that "key" routes to, and direct access to the
+  // underlying shard DBs.
+  uint32_t TEST_ShardOf(const Slice& key) const { return ShardOf(key); }
+  DB* TEST_shard(int k) { return shards_[k]; }
+
+ private:
+  ShardedDB(const Options& options, const std::string& name);
+
+  uint32_t ShardOf(const Slice& key) const;
+
+  const std::string name_;
+  const ShardRouter* router_;  // Not owned.
+  const Comparator* user_comparator_;
+
+  // Shared across all shards; set (and owned) here only when the user
+  // did not supply their own cache in Options.
+  std::unique_ptr<Cache> owned_block_cache_;
+  std::unique_ptr<Cache> owned_table_handle_cache_;
+
+  std::vector<DB*> shards_;  // Owned; size is a power of two.
+};
+
+}  // namespace ldc
+
+#endif  // LDC_INCLUDE_SHARDED_DB_H_

@@ -32,6 +32,8 @@ enum Ticker : uint32_t {
   kBlockCacheHits,            // data blocks served from the block cache
   kBloomChecks,               // bloom filter consultations
   kBloomUseful,               // bloom filters that avoided a table read
+  kBloomSkippedTables,        // table probes skipped by the pre-seek filter
+                              // check (read path, Version::Get)
 
   // Compaction activity.
   kCompactions,               // UDC compactions performed
@@ -64,7 +66,10 @@ const char* TickerName(Ticker ticker);
 
 // Point-in-time gauges: unlike tickers these go up and down, tracking the
 // current value of a quantity (e.g. how many background jobs are executing
-// right now). Updated with relaxed atomics like tickers.
+// right now). Updated with relaxed atomics like tickers. Writers must use
+// the delta forms (AddGauge/SubGauge): one Statistics object may be shared
+// by several DBs (ShardedDB injects one into every shard), and absolute
+// stores from N writers would clobber each other's contributions.
 enum Gauge : uint32_t {
   kBgJobsRunning = 0,   // background work units currently executing
   kLdcMergesRunning,    // LDC merges currently executing
@@ -101,8 +106,16 @@ class Statistics {
     return tickers_[ticker].load(std::memory_order_relaxed);
   }
 
-  void SetGauge(Gauge gauge, uint64_t value) {
-    gauges_[gauge].store(value, std::memory_order_relaxed);
+  // Atomically adjust a gauge by a delta. Safe when many DBs share this
+  // object: concurrent adds/subs from different shards combine instead of
+  // overwriting each other (the double-counting/clobbering hazard of an
+  // absolute SetGauge).
+  void AddGauge(Gauge gauge, uint64_t delta = 1) {
+    gauges_[gauge].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void SubGauge(Gauge gauge, uint64_t delta = 1) {
+    gauges_[gauge].fetch_sub(delta, std::memory_order_relaxed);
   }
 
   uint64_t GetGauge(Gauge gauge) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <vector>
 
 #include "db/builder.h"
@@ -17,6 +18,7 @@
 #include "ldc/cache.h"
 #include "ldc/env.h"
 #include "ldc/perf_context.h"
+#include "ldc/sharded_db.h"
 #include "ldc/sim.h"
 #include "ldc/statistics.h"
 #include "ldc/write_batch.h"
@@ -1012,13 +1014,15 @@ void DBImpl::BackgroundCall() {
     BackgroundJob job = std::move(job_queue_.front());
     job_queue_.pop_front();
     bg_jobs_running_++;
+    // Delta updates: the Statistics object may be shared across shards, so
+    // the gauge aggregates every shard's running jobs.
     if (stats_ != nullptr) {
-      stats_->SetGauge(kBgJobsRunning, bg_jobs_running_);
+      stats_->AddGauge(kBgJobsRunning);
     }
     ExecuteBackgroundJob(&job);
     bg_jobs_running_--;
     if (stats_ != nullptr) {
-      stats_->SetGauge(kBgJobsRunning, bg_jobs_running_);
+      stats_->SubGauge(kBgJobsRunning);
     }
     background_work_finished_signal_.notify_all();
     if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
@@ -1055,12 +1059,12 @@ void DBImpl::ExecuteBackgroundJob(BackgroundJob* job) {
         max_parallel_merges_ = running_ldc_merges_;
       }
       if (stats_ != nullptr) {
-        stats_->SetGauge(kLdcMergesRunning, running_ldc_merges_);
+        stats_->AddGauge(kLdcMergesRunning);
       }
       Status s = DoLdcMerge(job->lower_file);
       running_ldc_merges_--;
       if (stats_ != nullptr) {
-        stats_->SetGauge(kLdcMergesRunning, running_ldc_merges_);
+        stats_->SubGauge(kLdcMergesRunning);
       }
       merges_in_flight_.erase(job->lower_file);
       if (!s.ok()) RecordBackgroundError(s);
@@ -2414,6 +2418,14 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
   return DB::Delete(options, key);
 }
 
+Status DBImpl::PreflightWrite() {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::IOError(dbname_, "shutting down");
+  }
+  std::lock_guard<std::mutex> l(mutex_);
+  return bg_error_;
+}
+
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (sim_ != nullptr) sim_->Pump();
   const uint64_t start_us = NowMicros();
@@ -3062,6 +3074,14 @@ Status DB::Delete(const WriteOptions& opt, const Slice& key) {
 Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
   *dbptr = nullptr;
 
+  if (options.num_shards != 1) {
+    return ShardedDB::Open(options, dbname, dbptr);
+  }
+  if (options.env->FileExists(ShardingFileName(dbname))) {
+    return Status::InvalidArgument(
+        dbname, "is a sharded DB; reopen with the matching options.num_shards");
+  }
+
   DBImpl* impl = new DBImpl(options, dbname);
   impl->mutex_.lock();
   VersionEdit edit;
@@ -3134,6 +3154,29 @@ Status DestroyDB(const std::string& dbname, const Options& options) {
   if (!result.ok()) {
     // Ignore error in case directory does not exist
     return Status::OK();
+  }
+
+  if (env->FileExists(ShardingFileName(dbname))) {
+    // Sharded layout: the root holds only the SHARDING marker plus one
+    // complete plain DB per shard-<k> subdirectory. Destroy each shard,
+    // then the marker and the root itself. Envs with a flat namespace
+    // (MemEnv) report nested paths like "shard-0/CURRENT" as children, so
+    // trim each entry to its top-level component first.
+    std::set<std::string> shard_dirs;
+    for (const std::string& child : filenames) {
+      if (child.rfind("shard-", 0) == 0) {
+        shard_dirs.insert(child.substr(0, child.find('/')));
+      }
+    }
+    for (const std::string& dir : shard_dirs) {
+      Status del = DestroyDB(dbname + "/" + dir, options);
+      if (result.ok() && !del.ok()) {
+        result = del;
+      }
+    }
+    env->RemoveFile(ShardingFileName(dbname));
+    env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+    return result;
   }
 
   FileLock* lock;

@@ -56,6 +56,13 @@ class DBImpl : public DB {
   void CompactRange(const Slice* begin, const Slice* end) override;
   Status WaitForIdle() override;
 
+  // Returns the first condition that would cause a write to be rejected
+  // right now (shutdown in progress, sticky background error) without
+  // queuing anything. ShardedDB preflights every shard involved in a
+  // cross-shard batch before applying to any of them, so a batch that is
+  // doomed on one shard fails before it becomes visible on another.
+  Status PreflightWrite();
+
   // Extra methods (for testing and instrumentation).
 
   // Compact any files in the named level that overlap [*begin,*end].

@@ -40,6 +40,16 @@ std::string CurrentFileName(const std::string& dbname) {
 
 std::string LockFileName(const std::string& dbname) { return dbname + "/LOCK"; }
 
+std::string ShardingFileName(const std::string& dbname) {
+  return dbname + "/SHARDING";
+}
+
+std::string ShardDirName(const std::string& dbname, int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard-%d", shard);
+  return dbname + buf;
+}
+
 std::string TempFileName(const std::string& dbname, uint64_t number) {
   assert(number > 0);
   return MakeFileName(dbname, number, "dbtmp");

@@ -47,6 +47,15 @@ std::string CurrentFileName(const std::string& dbname);
 // "dbname". The result will be prefixed with "dbname".
 std::string LockFileName(const std::string& dbname);
 
+// Return the name of the sharding marker file for the sharded db rooted
+// at "dbname" (see ldc/sharded_db.h). Its presence marks the directory
+// as a ShardedDB root rather than a plain DB.
+std::string ShardingFileName(const std::string& dbname);
+
+// Return the directory of shard "shard" under the sharded db rooted at
+// "dbname". Each shard directory is a complete, independent plain DB.
+std::string ShardDirName(const std::string& dbname, int shard);
+
 // Return the name of a temporary file owned by the db named "dbname".
 // The result will be prefixed with "dbname".
 std::string TempFileName(const std::string& dbname, uint64_t number);

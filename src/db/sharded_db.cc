@@ -1,0 +1,510 @@
+#include "ldc/sharded_db.h"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "db/db_impl.h"
+#include "db/filename.h"
+#include "db/write_batch_internal.h"
+#include "ldc/cache.h"
+#include "ldc/comparator.h"
+#include "ldc/env.h"
+#include "ldc/write_batch.h"
+#include "table/merger.h"
+#include "util/hash.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace ldc {
+
+namespace {
+
+constexpr int kMaxShards = 1024;
+constexpr char kShardingMagic[] = "ldc.sharding-v1";
+
+bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+class BytewiseHashRouter : public ShardRouter {
+ public:
+  const char* Name() const override { return "ldc.BytewiseHashRouter"; }
+
+  uint32_t Shard(const Slice& key, uint32_t num_shards) const override {
+    // num_shards is a power of two, so the mask keeps the hash uniform.
+    return Hash(key.data(), key.size(), 0x9e3779b9u) & (num_shards - 1);
+  }
+};
+
+// A composite of one snapshot per shard, taken one after another. This
+// is NOT a single cross-shard cut: a write that lands on shard 1 after
+// its snapshot but before shard 2's may be invisible while a later write
+// to shard 2 is visible. See docs/SHARDING.md.
+class ShardedSnapshot : public Snapshot {
+ public:
+  explicit ShardedSnapshot(size_t n) : per_shard(n, nullptr) {}
+  ~ShardedSnapshot() override = default;
+
+  std::vector<const Snapshot*> per_shard;
+};
+
+// Splits a WriteBatch into one batch per shard, preserving the relative
+// order of the operations that land on the same shard.
+class ShardSplitter : public WriteBatch::Handler {
+ public:
+  ShardSplitter(const ShardRouter* router, uint32_t num_shards)
+      : router_(router), num_shards_(num_shards), batches_(num_shards) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    batches_[router_->Shard(key, num_shards_)].Put(key, value);
+  }
+
+  void Delete(const Slice& key) override {
+    batches_[router_->Shard(key, num_shards_)].Delete(key);
+  }
+
+  const ShardRouter* const router_;
+  const uint32_t num_shards_;
+  std::vector<WriteBatch> batches_;
+};
+
+ReadOptions ShardReadOptions(const ReadOptions& options, int shard) {
+  ReadOptions result = options;
+  if (options.snapshot != nullptr) {
+    result.snapshot = static_cast<const ShardedSnapshot*>(options.snapshot)
+                          ->per_shard[shard];
+  }
+  return result;
+}
+
+// The SHARDING marker file pins the parameters that determine which
+// shard directory holds which key. Format (one field per line):
+//   ldc.sharding-v1
+//   num_shards=<N>
+//   router=<router name>
+std::string EncodeShardingFile(int num_shards, const char* router_name) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\nnum_shards=%d\nrouter=", kShardingMagic,
+                num_shards);
+  return std::string(buf) + router_name + "\n";
+}
+
+Status DecodeShardingFile(const std::string& contents,
+                          const std::string& fname, int* num_shards,
+                          std::string* router_name) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    if (eol == std::string::npos) eol = contents.size();
+    lines.push_back(contents.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  if (lines.size() < 3 || lines[0] != kShardingMagic ||
+      lines[1].rfind("num_shards=", 0) != 0 ||
+      lines[2].rfind("router=", 0) != 0) {
+    return Status::Corruption(fname, "malformed SHARDING file");
+  }
+  *num_shards = std::atoi(lines[1].c_str() + strlen("num_shards="));
+  *router_name = lines[2].substr(strlen("router="));
+  if (!IsPowerOfTwo(*num_shards) || *num_shards > kMaxShards) {
+    return Status::Corruption(fname, "SHARDING file has a bad shard count");
+  }
+  return Status::OK();
+}
+
+// State for opening all shards in parallel on the Env thread pool. The
+// latch is safe even on a bounded pool: a shard open never blocks on
+// other scheduled work, so every task eventually runs and decrements.
+struct ShardOpenState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+};
+
+struct ShardOpenTask {
+  ShardOpenState* state = nullptr;
+  Options options;
+  std::string name;
+  DB* db = nullptr;
+  Status status;
+};
+
+void OpenShardInBackground(void* arg) {
+  ShardOpenTask* task = static_cast<ShardOpenTask*>(arg);
+  task->status = DB::Open(task->options, task->name, &task->db);
+  std::lock_guard<std::mutex> l(task->state->mu);
+  if (--task->state->remaining == 0) {
+    task->state->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+ShardRouter::~ShardRouter() = default;
+
+const ShardRouter* HashShardRouter() {
+  static BytewiseHashRouter router;
+  return &router;
+}
+
+ShardedDB::ShardedDB(const Options& options, const std::string& name)
+    : name_(name),
+      router_(options.shard_router != nullptr ? options.shard_router
+                                              : HashShardRouter()),
+      user_comparator_(options.comparator) {}
+
+ShardedDB::~ShardedDB() {
+  // Shards first: their table caches still hold handles into the shared
+  // handle cache, and their iterators may pin shared block-cache entries.
+  for (DB* shard : shards_) {
+    delete shard;
+  }
+  shards_.clear();
+  // owned caches are released by the unique_ptr members afterwards.
+}
+
+uint32_t ShardedDB::ShardOf(const Slice& key) const {
+  return router_->Shard(key, static_cast<uint32_t>(shards_.size()));
+}
+
+Status ShardedDB::Open(const Options& options, const std::string& name,
+                       DB** dbptr) {
+  *dbptr = nullptr;
+  if (!IsPowerOfTwo(options.num_shards) || options.num_shards < 2 ||
+      options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        name, "options.num_shards must be a power of two in [2, 1024]");
+  }
+  if (options.sim != nullptr) {
+    return Status::InvalidArgument(
+        name,
+        "the discrete-event simulator is single-DB only; "
+        "a sharded DB cannot set Options::sim");
+  }
+
+  Env* env = options.env;
+  const ShardRouter* router = options.shard_router != nullptr
+                                  ? options.shard_router
+                                  : HashShardRouter();
+  env->CreateDir(name);  // Ignore error: existing dir is fine.
+
+  // Check or create the SHARDING marker.
+  const std::string marker = ShardingFileName(name);
+  if (env->FileExists(marker)) {
+    if (options.error_if_exists) {
+      return Status::InvalidArgument(name, "exists (error_if_exists is true)");
+    }
+    std::string contents;
+    Status s = ReadFileToString(env, marker, &contents);
+    if (!s.ok()) return s;
+    int persisted_shards = 0;
+    std::string persisted_router;
+    s = DecodeShardingFile(contents, marker, &persisted_shards,
+                           &persisted_router);
+    if (!s.ok()) return s;
+    if (persisted_shards != options.num_shards) {
+      char buf[100];
+      std::snprintf(buf, sizeof(buf),
+                    "was created with num_shards=%d, reopened with %d",
+                    persisted_shards, options.num_shards);
+      return Status::InvalidArgument(name, buf);
+    }
+    if (persisted_router != router->Name()) {
+      return Status::InvalidArgument(
+          name, "was created with shard router " + persisted_router +
+                    ", reopened with " + router->Name());
+    }
+  } else {
+    if (env->FileExists(CurrentFileName(name))) {
+      return Status::InvalidArgument(
+          name, "is a plain (non-sharded) DB; open it with num_shards=1");
+    }
+    if (!options.create_if_missing) {
+      return Status::InvalidArgument(name,
+                                     "does not exist (create_if_missing "
+                                     "is false)");
+    }
+    Status s = WriteStringToFileSync(
+        env, EncodeShardingFile(options.num_shards, router->Name()), marker);
+    if (!s.ok()) return s;
+  }
+
+  ShardedDB* db = new ShardedDB(options, name);
+
+  // Every shard shares one block cache and one table-handle cache so the
+  // memory and open-file budgets stay global, not per shard. TableCache
+  // prefixes its keys with Cache::NewId(), so equal file numbers in
+  // different shards never collide.
+  Options shard_options = options;
+  shard_options.num_shards = 1;
+  shard_options.shard_router = nullptr;
+  if (shard_options.block_cache == nullptr) {
+    db->owned_block_cache_.reset(NewLRUCache(options.block_cache_capacity));
+    shard_options.block_cache = db->owned_block_cache_.get();
+  }
+  if (shard_options.table_handle_cache == nullptr) {
+    const int entries = options.max_open_files < 74 ? 64
+                                                    : options.max_open_files -
+                                                          10;
+    db->owned_table_handle_cache_.reset(NewLRUCache(entries));
+    shard_options.table_handle_cache = db->owned_table_handle_cache_.get();
+  }
+
+  // Recover all shards in parallel on the Env thread pool.
+  ShardOpenState state;
+  state.remaining = options.num_shards;
+  std::vector<ShardOpenTask> tasks(options.num_shards);
+  for (int i = 0; i < options.num_shards; i++) {
+    tasks[i].state = &state;
+    tasks[i].options = shard_options;
+    tasks[i].name = ShardDirName(name, i);
+    env->Schedule(&OpenShardInBackground, &tasks[i]);
+  }
+  {
+    std::unique_lock<std::mutex> l(state.mu);
+    state.cv.wait(l, [&state] { return state.remaining == 0; });
+  }
+
+  Status s;
+  for (int i = 0; i < options.num_shards; i++) {
+    if (s.ok() && !tasks[i].status.ok()) {
+      s = tasks[i].status;
+    }
+  }
+  if (!s.ok()) {
+    for (ShardOpenTask& task : tasks) {
+      delete task.db;
+    }
+    delete db;
+    return s;
+  }
+
+  db->shards_.reserve(options.num_shards);
+  for (ShardOpenTask& task : tasks) {
+    db->shards_.push_back(task.db);
+  }
+  *dbptr = db;
+  return Status::OK();
+}
+
+Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  return shards_[ShardOf(key)]->Put(options, key, value);
+}
+
+Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[ShardOf(key)]->Delete(options, key);
+}
+
+Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (updates == nullptr) {
+    // A null batch is a write barrier; run it on every shard.
+    for (DB* shard : shards_) {
+      Status s = shard->Write(options, nullptr);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  ShardSplitter splitter(router_, static_cast<uint32_t>(shards_.size()));
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) return s;
+
+  int involved = 0;
+  int only_shard = -1;
+  for (size_t i = 0; i < splitter.batches_.size(); i++) {
+    if (WriteBatchInternal::Count(&splitter.batches_[i]) > 0) {
+      involved++;
+      only_shard = static_cast<int>(i);
+    }
+  }
+  if (involved == 0) {
+    return Status::OK();
+  }
+  if (involved == 1) {
+    // Single-shard batch: plain-DB atomicity applies unchanged.
+    return shards_[only_shard]->Write(options, &splitter.batches_[only_shard]);
+  }
+
+  // Cross-shard batch. Preflight every involved shard so a batch that is
+  // already doomed (background error, shutdown) fails before any part of
+  // it becomes visible. A failure that develops mid-apply can still leave
+  // the batch applied on a prefix of the shards — see docs/SHARDING.md.
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (WriteBatchInternal::Count(&splitter.batches_[i]) > 0) {
+      s = static_cast<DBImpl*>(shards_[i])->PreflightWrite();
+      if (!s.ok()) return s;
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (WriteBatchInternal::Count(&splitter.batches_[i]) > 0) {
+      Status apply = shards_[i]->Write(options, &splitter.batches_[i]);
+      if (s.ok() && !apply.ok()) s = apply;
+    }
+  }
+  return s;
+}
+
+Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const uint32_t shard = ShardOf(key);
+  return shards_[shard]->Get(ShardReadOptions(options, shard), key, value);
+}
+
+Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
+  // Shards partition the keyspace, so the k-way merge never sees the
+  // same user key twice and the user comparator gives a total order.
+  std::vector<Iterator*> children(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    children[i] =
+        shards_[i]->NewIterator(ShardReadOptions(options, static_cast<int>(i)));
+  }
+  return NewMergingIterator(user_comparator_, children.data(),
+                            static_cast<int>(children.size()));
+}
+
+const Snapshot* ShardedDB::GetSnapshot() {
+  ShardedSnapshot* snapshot = new ShardedSnapshot(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    snapshot->per_shard[i] = shards_[i]->GetSnapshot();
+  }
+  return snapshot;
+}
+
+void ShardedDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  const ShardedSnapshot* composite =
+      static_cast<const ShardedSnapshot*>(snapshot);
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (composite->per_shard[i] != nullptr) {
+      shards_[i]->ReleaseSnapshot(composite->per_shard[i]);
+    }
+  }
+  delete composite;
+}
+
+bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  Slice in = property;
+  const Slice prefix("ldc.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in == Slice("num-shards")) {
+    *value = NumberToString(static_cast<uint64_t>(shards_.size()));
+    return true;
+  }
+
+  // Counters that sum meaningfully across shards.
+  const bool summed =
+      in.starts_with(Slice("num-files-at-level")) ||
+      in == Slice("frozen-bytes") || in == Slice("frozen-files") ||
+      in == Slice("total-bytes") || in == Slice("bg-jobs-running") ||
+      in == Slice("parallel-merges");
+  if (summed) {
+    uint64_t total = 0;
+    std::string shard_value;
+    for (DB* shard : shards_) {
+      if (!shard->GetProperty(property, &shard_value)) return false;
+      total += std::strtoull(shard_value.c_str(), nullptr, 10);
+    }
+    *value = NumberToString(total);
+    return true;
+  }
+
+  // Shared state / per-shard config: every shard reports the same value.
+  if (in == Slice("block-cache-usage") || in == Slice("slice-link-threshold")) {
+    return shards_[0]->GetProperty(property, value);
+  }
+
+  // Hash routing spreads traffic statistically evenly, so the mean
+  // write amplification is representative of the whole DB.
+  if (in == Slice("cumulative-writeamp")) {
+    double sum = 0;
+    std::string shard_value;
+    for (DB* shard : shards_) {
+      if (!shard->GetProperty(property, &shard_value)) return false;
+      sum += std::strtod(shard_value.c_str(), nullptr);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  sum / static_cast<double>(shards_.size()));
+    *value = buf;
+    return true;
+  }
+
+  if (in == Slice("stats-json")) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.KV("db", name_);
+    writer.KV("num_shards", static_cast<uint64_t>(shards_.size()));
+    writer.Key("shards");
+    writer.BeginArray();
+    std::string shard_value;
+    for (DB* shard : shards_) {
+      if (!shard->GetProperty(property, &shard_value)) return false;
+      writer.Raw(shard_value);
+    }
+    writer.EndArray();
+    writer.EndObject();
+    *value = writer.str();
+    return true;
+  }
+
+  // Multi-line text reports: concatenate with per-shard headers.
+  if (in == Slice("stats") || in == Slice("sstables") ||
+      in == Slice("compaction-stats") || in == Slice("level-summary")) {
+    std::string shard_value;
+    for (size_t i = 0; i < shards_.size(); i++) {
+      if (!shards_[i]->GetProperty(property, &shard_value)) return false;
+      char header[64];
+      std::snprintf(header, sizeof(header), "--- shard %d ---\n",
+                    static_cast<int>(i));
+      value->append(header);
+      value->append(shard_value);
+      if (!shard_value.empty() && shard_value.back() != '\n') {
+        value->push_back('\n');
+      }
+    }
+    return true;
+  }
+
+  return false;
+}
+
+void ShardedDB::GetApproximateSizes(const Range* range, int n,
+                                    uint64_t* sizes) {
+  for (int i = 0; i < n; i++) {
+    sizes[i] = 0;
+  }
+  if (n <= 0) return;
+  std::vector<uint64_t> shard_sizes(n);
+  for (DB* shard : shards_) {
+    shard->GetApproximateSizes(range, n, shard_sizes.data());
+    for (int i = 0; i < n; i++) {
+      sizes[i] += shard_sizes[i];
+    }
+  }
+}
+
+void ShardedDB::CompactRange(const Slice* begin, const Slice* end) {
+  for (DB* shard : shards_) {
+    shard->CompactRange(begin, end);
+  }
+}
+
+Status ShardedDB::WaitForIdle() {
+  Status result;
+  for (DB* shard : shards_) {
+    Status s = shard->WaitForIdle();
+    if (result.ok() && !s.ok()) {
+      result = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace ldc

@@ -30,15 +30,21 @@ TableCache::TableCache(const std::string& dbname, const Options& options,
     : env_(options.env),
       dbname_(dbname),
       options_(options),
-      cache_(NewLRUCache(entries)) {}
+      cache_(options.table_handle_cache != nullptr ? options.table_handle_cache
+                                                   : NewLRUCache(entries)),
+      owns_cache_(options.table_handle_cache == nullptr),
+      cache_id_(cache_->NewId()) {}
 
-TableCache::~TableCache() { delete cache_; }
+TableCache::~TableCache() {
+  if (owns_cache_) delete cache_;
+}
 
 Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
                              Cache::Handle** handle) {
   Status s;
-  char buf[sizeof(file_number)];
-  EncodeFixed64(buf, file_number);
+  char buf[2 * sizeof(file_number)];
+  EncodeFixed64(buf, cache_id_);
+  EncodeFixed64(buf + sizeof(uint64_t), file_number);
   Slice key(buf, sizeof(buf));
   *handle = cache_->Lookup(key);
   if (*handle == nullptr) {
@@ -90,15 +96,29 @@ Iterator* TableCache::NewIterator(const ReadOptions& options,
 Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
                        uint64_t file_size, const Slice& k, void* arg,
                        void (*handle_result)(void*, const Slice&,
-                                             const Slice&)) {
+                                             const Slice&),
+                       bool check_filter) {
   Cache::Handle* handle = nullptr;
   Status s = FindTable(file_number, file_size, &handle);
   if (s.ok()) {
     Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
-    s = t->InternalGet(options, k, arg, handle_result);
+    s = t->InternalGet(options, k, arg, handle_result, check_filter);
     cache_->Release(handle);
   }
   return s;
+}
+
+bool TableCache::KeyMayMatch(uint64_t file_number, uint64_t file_size,
+                             const Slice& k) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return true;  // Cannot tell; let the subsequent Get report the error.
+  }
+  Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+  const bool may_match = t->KeyMayMatch(k);
+  cache_->Release(handle);
+  return may_match;
 }
 
 void TableCache::WarmTable(uint64_t file_number, uint64_t file_size) {
@@ -112,8 +132,9 @@ void TableCache::WarmTable(uint64_t file_number, uint64_t file_size) {
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  char buf[sizeof(file_number)];
-  EncodeFixed64(buf, file_number);
+  char buf[2 * sizeof(file_number)];
+  EncodeFixed64(buf, cache_id_);
+  EncodeFixed64(buf + sizeof(uint64_t), file_number);
   cache_->Erase(Slice(buf, sizeof(buf)));
 }
 

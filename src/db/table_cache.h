@@ -16,6 +16,12 @@ class Env;
 
 class TableCache {
  public:
+  // When options.table_handle_cache is non-null the handles live in that
+  // shared cache (one open-file budget across several DBs — ShardedDB
+  // injects one cache into all shards); otherwise a private LRU cache of
+  // "entries" slots is created. Either way this instance's keys are
+  // prefixed with a unique Cache::NewId(), so shared-cache users never
+  // collide on equal file numbers.
   TableCache(const std::string& dbname, const Options& options, int entries);
 
   TableCache(const TableCache&) = delete;
@@ -34,10 +40,17 @@ class TableCache {
                         uint64_t file_size, Table** tableptr = nullptr);
 
   // If a seek to internal key "k" in specified file finds an entry,
-  // call (*handle_result)(arg, found_key, found_value).
+  // call (*handle_result)(arg, found_key, found_value). Pass
+  // check_filter=false when KeyMayMatch was already consulted for "k".
   Status Get(const ReadOptions& options, uint64_t file_number,
              uint64_t file_size, const Slice& k, void* arg,
-             void (*handle_result)(void*, const Slice&, const Slice&));
+             void (*handle_result)(void*, const Slice&, const Slice&),
+             bool check_filter = true);
+
+  // Returns false iff the table's filter guarantees internal key "k" is
+  // absent, touching only the cached index/filter blocks (no data-block
+  // I/O). Returns true on any error (the subsequent Get surfaces it).
+  bool KeyMayMatch(uint64_t file_number, uint64_t file_size, const Slice& k);
 
   // Evict any entry for the specified file number
   void Evict(uint64_t file_number);
@@ -55,6 +68,8 @@ class TableCache {
   const std::string dbname_;
   const Options& options_;
   Cache* cache_;
+  const bool owns_cache_;   // false when options.table_handle_cache is used
+  const uint64_t cache_id_;  // key prefix within (possibly shared) cache_
 };
 
 }  // namespace ldc

@@ -19,6 +19,7 @@ const char* const kTickerNames[kTickerCount] = {
     "block.cache.hits",
     "bloom.checks",
     "bloom.useful",
+    "bloom.skipped.tables",
     "compactions",
     "trivial.moves",
     "flushes",

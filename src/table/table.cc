@@ -237,16 +237,46 @@ Iterator* Table::NewIterator(const ReadOptions& options) const {
       &Table::BlockReader, const_cast<Table*>(this), options);
 }
 
+bool Table::KeyMayMatch(const Slice& key) const {
+  FilterBlockReader* filter = rep_->filter;
+  if (filter == nullptr) {
+    return true;
+  }
+  Iterator* iiter = rep_->index_block->NewIterator(rep_->options.comparator);
+  iiter->Seek(key);
+  bool may_match = true;
+  if (iiter->Valid()) {
+    Slice handle_value = iiter->value();
+    BlockHandle handle;
+    if (handle.DecodeFrom(&handle_value).ok()) {
+      Statistics* stats = rep_->options.statistics;
+      if (stats != nullptr) stats->Record(kBloomChecks);
+      GetPerfContext()->bloom_filter_checks++;
+      may_match = filter->KeyMayMatch(handle.offset(), key);
+      if (!may_match) {
+        if (stats != nullptr) stats->Record(kBloomUseful);
+        GetPerfContext()->bloom_filter_useful++;
+      }
+    }
+  } else {
+    // Past the last index entry: the key is beyond every data block.
+    may_match = false;
+  }
+  delete iiter;
+  return may_match;
+}
+
 Status Table::InternalGet(const ReadOptions& options, const Slice& k,
                           void* arg,
                           void (*handle_result)(void*, const Slice&,
-                                                const Slice&)) {
+                                                const Slice&),
+                          bool check_filter) {
   Status s;
   Iterator* iiter = rep_->index_block->NewIterator(rep_->options.comparator);
   iiter->Seek(k);
   if (iiter->Valid()) {
     Slice handle_value = iiter->value();
-    FilterBlockReader* filter = rep_->filter;
+    FilterBlockReader* filter = check_filter ? rep_->filter : nullptr;
     BlockHandle handle;
     Statistics* stats = rep_->options.statistics;
     if (filter != nullptr && handle.DecodeFrom(&handle_value).ok()) {

@@ -1,0 +1,523 @@
+// Tests of ldc::ShardedDB: routing, shared-resource wiring, cross-shard
+// iteration and WriteBatch semantics, recovery, and the persisted
+// SHARDING parameters. See docs/SHARDING.md.
+
+#include "ldc/sharded_db.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "json_checker.h"
+#include "ldc/cache.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/filter_policy.h"
+#include "ldc/statistics.h"
+#include "ldc/write_batch.h"
+#include "workload/key_generator.h"
+
+namespace ldc {
+
+namespace {
+
+// Shards run real background threads; make sure the shared pool has
+// enough of them before the POSIX Env lazily starts it.
+[[maybe_unused]] const bool kPoolSized = [] {
+  setenv("LDCKV_BACKGROUND_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+// In-memory files + real background threads (same idiom as the
+// concurrency tests): file operations go to a MemEnv, scheduling to the
+// default POSIX Env's pool.
+class ThreadedMemEnv : public EnvWrapper {
+ public:
+  explicit ThreadedMemEnv(Env* mem) : EnvWrapper(mem) {}
+
+  void Schedule(void (*fn)(void*), void* arg) override {
+    Env::Default()->Schedule(fn, arg);
+  }
+  void StartThread(void (*fn)(void*), void* arg) override {
+    Env::Default()->StartThread(fn, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    Env::Default()->SleepForMicroseconds(micros);
+  }
+};
+
+// Once armed, refuses to create new table files whose path contains the
+// configured substring. The WAL keeps working, so a memtable flush on the
+// matching shard fails and leaves a sticky background error behind.
+class TableFaultEnv : public EnvWrapper {
+ public:
+  explicit TableFaultEnv(Env* target) : EnvWrapper(target) {}
+
+  void ArmFor(const std::string& path_substring) {
+    substring_ = path_substring;
+    armed_.store(true, std::memory_order_release);
+  }
+
+  Status NewWritableFile(const std::string& fname, WritableFile** r) override {
+    if (armed_.load(std::memory_order_acquire) &&
+        fname.find(substring_) != std::string::npos &&
+        fname.size() > 4 && fname.compare(fname.size() - 4, 4, ".ldb") == 0) {
+      return Status::IOError(fname, "injected table-write fault");
+    }
+    return EnvWrapper::NewWritableFile(fname, r);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::string substring_;
+};
+
+// Routes by the first key byte so tests can aim operations at a chosen
+// shard regardless of the hash.
+class FirstByteRouter : public ShardRouter {
+ public:
+  const char* Name() const override { return "test.FirstByteRouter"; }
+  uint32_t Shard(const Slice& key, uint32_t num_shards) const override {
+    const uint32_t first = key.empty() ? 0 : static_cast<uint8_t>(key[0]);
+    return first & (num_shards - 1);
+  }
+};
+
+class ShardedDBTest : public testing::Test {
+ protected:
+  ShardedDBTest()
+      : mem_env_(NewMemEnv()), env_(new ThreadedMemEnv(mem_env_.get())) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.num_shards = 4;
+    options_.filter_policy = filter_policy_.get();
+    options_.statistics = &stats_;
+  }
+
+  ~ShardedDBTest() override {
+    db_.reset();
+    DestroyDB("/db", options_);
+  }
+
+  void Open() {
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  ShardedDB* sharded() { return static_cast<ShardedDB*>(db_.get()); }
+
+  std::unique_ptr<const FilterPolicy> filter_policy_{NewBloomFilterPolicy(10)};
+  Statistics stats_;
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(ShardedDBTest, ShadowMapFourShardsFourThreads) {
+  // Small buffers keep all four shards flushing and compacting while the
+  // four client threads overwrite and delete overlapping ranges.
+  options_.write_buffer_size = 16 * 1024;
+  options_.max_file_size = 16 * 1024;
+  options_.max_background_jobs = 4;
+  Open();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::map<std::string, std::string>> shadows(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::map<std::string, std::string>& shadow = shadows[t];
+      for (int i = 0; i < kOpsPerThread; i++) {
+        // Disjoint per-thread id ranges: shadows merge without conflicts.
+        const int id = t * 1000 + (i * 13) % 600;
+        const std::string key = MakeKey(id);
+        if (i % 7 == 6 && !shadow.empty()) {
+          ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+          shadow.erase(key);
+        } else {
+          const std::string value = std::to_string(t) + ":" +
+                                    std::to_string(i) + std::string(70, 'z');
+          ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+          shadow[key] = value;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  std::map<std::string, std::string> expected;
+  for (const auto& shadow : shadows) {
+    expected.insert(shadow.begin(), shadow.end());
+  }
+
+  // Point reads.
+  for (const auto& kvp : expected) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), kvp.first, &value).ok()) << kvp.first;
+    EXPECT_EQ(kvp.second, value);
+  }
+
+  // The merged iterator agrees with the shadow map in both directions.
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto it = expected.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+    ASSERT_NE(expected.end(), it);
+    EXPECT_EQ(it->first, iter->key().ToString());
+    EXPECT_EQ(it->second, iter->value().ToString());
+  }
+  EXPECT_EQ(expected.end(), it);
+  auto rit = expected.rbegin();
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev(), ++rit) {
+    ASSERT_NE(expected.rend(), rit);
+    EXPECT_EQ(rit->first, iter->key().ToString());
+  }
+  EXPECT_EQ(expected.rend(), rit);
+  ASSERT_TRUE(iter->status().ok());
+
+  // The hash router actually spread the keys.
+  for (int k = 0; k < sharded()->num_shards(); k++) {
+    std::unique_ptr<Iterator> shard_iter(
+        sharded()->TEST_shard(k)->NewIterator(ReadOptions()));
+    shard_iter->SeekToFirst();
+    EXPECT_TRUE(shard_iter->Valid()) << "shard " << k << " is empty";
+  }
+}
+
+TEST_F(ShardedDBTest, CrossShardIteratorGlobalOrdering) {
+  Open();
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), MakeKey(i), std::to_string(i)).ok());
+  }
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  std::string prev;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    const std::string key = iter->key().ToString();
+    if (count > 0) {
+      EXPECT_LT(prev, key) << "merged iterator out of order at " << count;
+    }
+    EXPECT_EQ(MakeKey(count), key);
+    prev = key;
+    count++;
+  }
+  ASSERT_TRUE(iter->status().ok());
+  EXPECT_EQ(kKeys, count);
+
+  // Seek lands on the right key even when neighbours live on other shards.
+  iter->Seek(MakeKey(123));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(MakeKey(123), iter->key().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(MakeKey(124), iter->key().ToString());
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(MakeKey(123), iter->key().ToString());
+}
+
+TEST_F(ShardedDBTest, CrossShardWriteBatchSplitsByShard) {
+  Open();
+  WriteBatch batch;
+  for (int i = 0; i < 100; i++) {
+    batch.Put(MakeKey(i), "v" + std::to_string(i));
+  }
+  batch.Delete(MakeKey(7));
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    Status s = db_->Get(ReadOptions(), MakeKey(i), &value);
+    if (i == 7) {
+      EXPECT_TRUE(s.IsNotFound());
+    } else {
+      ASSERT_TRUE(s.ok()) << i;
+      EXPECT_EQ("v" + std::to_string(i), value);
+    }
+  }
+
+  // An empty batch is a no-op.
+  WriteBatch empty;
+  EXPECT_TRUE(db_->Write(WriteOptions(), &empty).ok());
+}
+
+TEST_F(ShardedDBTest, CrossShardWriteBatchFailsBeforeAnyApply) {
+  // Wrap the env in the fault injector and route by first byte so "a..."
+  // keys hit shard 1 ('a' & 1) and "b..." keys hit shard 0 ('b' & 1).
+  TableFaultEnv fault_env(env_.get());
+  FirstByteRouter router;
+  options_.env = &fault_env;
+  options_.num_shards = 2;
+  options_.shard_router = &router;
+  options_.write_buffer_size = 8 * 1024;
+  Open();
+  ASSERT_EQ(1u, sharded()->TEST_ShardOf("a"));
+  ASSERT_EQ(0u, sharded()->TEST_ShardOf("b"));
+
+  // Healthy cross-shard batch applies everywhere.
+  {
+    WriteBatch batch;
+    batch.Put("a-healthy", "1");
+    batch.Put("b-healthy", "1");
+    ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  }
+
+  // Break shard 1: its next memtable flush cannot write a table file,
+  // which leaves a sticky background error on that shard only.
+  fault_env.ArmFor("/shard-1/");
+  Status direct;
+  const std::string filler(1024, 'x');
+  for (int i = 0; i < 1000; i++) {
+    direct = db_->Put(WriteOptions(), "a-filler" + std::to_string(i), filler);
+    if (!direct.ok()) break;
+  }
+  ASSERT_FALSE(direct.ok()) << "shard 1 never hit the injected fault";
+
+  // A cross-shard batch touching the broken shard is rejected up front:
+  // the healthy shard must not apply its part.
+  {
+    WriteBatch batch;
+    batch.Put("b-after", "1");
+    batch.Put("a-after", "1");
+    Status s = db_->Write(WriteOptions(), &batch);
+    EXPECT_FALSE(s.ok());
+    std::string value;
+    EXPECT_TRUE(db_->Get(ReadOptions(), "b-after", &value).IsNotFound());
+    EXPECT_TRUE(db_->Get(ReadOptions(), "a-after", &value).IsNotFound());
+  }
+
+  // The healthy shard still accepts single-shard writes.
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b-still-works", "1").ok());
+
+  // fault_env and router live on this stack frame: close the DB and point
+  // the fixture options back at the long-lived env before they go away.
+  db_.reset();
+  DestroyDB("/db", options_);
+  options_.env = env_.get();
+  options_.shard_router = nullptr;
+}
+
+TEST_F(ShardedDBTest, ReopenRecoversAllShards) {
+  options_.write_buffer_size = 32 * 1024;
+  Open();
+  constexpr int kKeys = 2000;
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    MakeValue(i, 1, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), value).ok());
+  }
+  // Leave some data only in the WALs (no WaitForIdle / final flush) so
+  // reopen exercises log recovery in every shard.
+  db_.reset();
+
+  Open();
+  for (int i = 0; i < kKeys; i++) {
+    std::string expected;
+    MakeValue(i, 1, 100, &expected);
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), MakeKey(i), &value).ok()) << i;
+    EXPECT_EQ(expected, value);
+  }
+
+  // The on-disk layout is the documented one.
+  EXPECT_TRUE(env_->FileExists("/db/SHARDING"));
+  for (int k = 0; k < 4; k++) {
+    EXPECT_TRUE(
+        env_->FileExists("/db/shard-" + std::to_string(k) + "/CURRENT"));
+  }
+}
+
+TEST_F(ShardedDBTest, ShardCountMismatchOnReopenFails) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+  db_.reset();
+
+  // Different shard count.
+  Options reopen = options_;
+  reopen.num_shards = 8;
+  DB* raw = nullptr;
+  Status s = DB::Open(reopen, "/db", &raw);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(nullptr, raw);
+
+  // As a plain, unsharded DB.
+  reopen.num_shards = 1;
+  s = DB::Open(reopen, "/db", &raw);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(nullptr, raw);
+
+  // With a router whose persisted name does not match.
+  FirstByteRouter router;
+  reopen.num_shards = 4;
+  reopen.shard_router = &router;
+  s = DB::Open(reopen, "/db", &raw);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(nullptr, raw);
+
+  // The matching configuration still opens.
+  Open();
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(ShardedDBTest, InvalidShardConfigurations) {
+  DB* raw = nullptr;
+  Options bad = options_;
+  bad.num_shards = 3;  // Not a power of two.
+  EXPECT_TRUE(DB::Open(bad, "/db3", &raw).IsInvalidArgument());
+  bad.num_shards = 0;
+  EXPECT_TRUE(DB::Open(bad, "/db0", &raw).IsInvalidArgument());
+  bad.num_shards = -4;
+  EXPECT_TRUE(DB::Open(bad, "/dbneg", &raw).IsInvalidArgument());
+
+  // A plain DB directory cannot be reopened sharded.
+  Options plain = options_;
+  plain.num_shards = 1;
+  ASSERT_TRUE(DB::Open(plain, "/plain", &raw).ok());
+  delete raw;
+  raw = nullptr;
+  Options resharded = options_;
+  resharded.num_shards = 4;
+  EXPECT_TRUE(DB::Open(resharded, "/plain", &raw).IsInvalidArgument());
+  DestroyDB("/plain", plain);
+}
+
+TEST_F(ShardedDBTest, PropertiesAggregateAcrossShards) {
+  options_.write_buffer_size = 8 * 1024;
+  Open();
+  for (int i = 0; i < 2000; i++) {
+    std::string value;
+    MakeValue(i, 1, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), value).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  std::string value;
+  ASSERT_TRUE(db_->GetProperty("ldc.num-shards", &value));
+  EXPECT_EQ("4", value);
+
+  // total-bytes is the sum over shards.
+  ASSERT_TRUE(db_->GetProperty("ldc.total-bytes", &value));
+  uint64_t total = std::strtoull(value.c_str(), nullptr, 10);
+  uint64_t summed = 0;
+  for (int k = 0; k < sharded()->num_shards(); k++) {
+    ASSERT_TRUE(
+        sharded()->TEST_shard(k)->GetProperty("ldc.total-bytes", &value));
+    summed += std::strtoull(value.c_str(), nullptr, 10);
+  }
+  EXPECT_EQ(summed, total);
+  EXPECT_GT(total, 0u);
+
+  // stats-json wraps one parseable document per shard.
+  ASSERT_TRUE(db_->GetProperty("ldc.stats-json", &value));
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::JsonParser::Parse(value, &doc)) << value;
+  EXPECT_EQ(4.0, doc["num_shards"].number);
+  EXPECT_EQ(4u, doc["shards"].array.size());
+
+  // Text reports carry one section per shard.
+  ASSERT_TRUE(db_->GetProperty("ldc.stats", &value));
+  EXPECT_NE(std::string::npos, value.find("--- shard 0 ---"));
+  EXPECT_NE(std::string::npos, value.find("--- shard 3 ---"));
+
+  // GetApproximateSizes sums the shards and grows with the range.
+  const std::string k0 = MakeKey(0);
+  const std::string k1000 = MakeKey(1000);
+  const std::string k2000 = MakeKey(2000);
+  Range ranges[2];
+  ranges[0] = Range(k0, k1000);
+  ranges[1] = Range(k0, k2000);
+  uint64_t sizes[2] = {0, 0};
+  db_->GetApproximateSizes(ranges, 2, sizes);
+  EXPECT_GT(sizes[0], 0u);
+  EXPECT_GE(sizes[1], sizes[0]);
+}
+
+TEST_F(ShardedDBTest, SnapshotIsolatesReadsPerShard) {
+  Open();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), "before").ok());
+  }
+  const Snapshot* snapshot = db_->GetSnapshot();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), "after").ok());
+  }
+
+  ReadOptions at_snapshot;
+  at_snapshot.snapshot = snapshot;
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Get(at_snapshot, MakeKey(i), &value).ok()) << i;
+    EXPECT_EQ("before", value);
+    ASSERT_TRUE(db_->Get(ReadOptions(), MakeKey(i), &value).ok()) << i;
+    EXPECT_EQ("after", value);
+  }
+
+  // The snapshot also pins the merged iterator's view.
+  std::unique_ptr<Iterator> iter(db_->NewIterator(at_snapshot));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ("before", iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(100, count);
+  db_->ReleaseSnapshot(snapshot);
+}
+
+TEST_F(ShardedDBTest, SharedBlockCacheAcrossShards) {
+  // Give the shards one explicit block cache and verify it is the one
+  // that fills up (the per-shard property reads the shared instance).
+  std::unique_ptr<Cache> cache(NewLRUCache(4 * 1024 * 1024));
+  options_.block_cache = cache.get();
+  options_.write_buffer_size = 8 * 1024;
+  Open();
+  for (int i = 0; i < 2000; i++) {
+    std::string value;
+    MakeValue(i, 1, 100, &value);
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), value).ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  std::string value;
+  for (int i = 0; i < 2000; i += 7) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), MakeKey(i), &value).ok());
+  }
+  EXPECT_GT(cache->TotalCharge(), 0u);
+
+  std::string usage;
+  ASSERT_TRUE(db_->GetProperty("ldc.block-cache-usage", &usage));
+  EXPECT_EQ(std::to_string(cache->TotalCharge()), usage);
+  db_.reset();
+}
+
+TEST_F(ShardedDBTest, DestroyRemovesShardTree) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+  db_.reset();
+
+  ASSERT_TRUE(DestroyDB("/db", options_).ok());
+  EXPECT_FALSE(env_->FileExists("/db/SHARDING"));
+  EXPECT_FALSE(env_->FileExists("/db/shard-0/CURRENT"));
+
+  // The name is reusable, including with a different shard count.
+  options_.num_shards = 2;
+  Open();
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "k", &value).IsNotFound());
+}
+
+}  // namespace
+}  // namespace ldc

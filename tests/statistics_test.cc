@@ -5,6 +5,8 @@
 
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "json_checker.h"
@@ -191,6 +193,47 @@ TEST_F(StatsJsonPropertyTest, CumulativeWriteampProperty) {
   // The legacy text property now reports frozen bytes per level.
   ASSERT_TRUE(db_->GetProperty("ldc.stats", &value));
   EXPECT_NE(value.find("Frozen"), std::string::npos);
+}
+
+// One Statistics object is shared by every shard of a ShardedDB, so N
+// threads hammer the same tickers, gauges, and histograms concurrently.
+// Every update must combine exactly — no lost increments (ticker adds),
+// no clobbered absolute stores (gauges), no corrupted histogram state.
+TEST(StatisticsConcurrencyTest, SharedWritersLoseNoUpdates) {
+  Statistics stats;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kOpsPerThread; i++) {
+        stats.Record(kGets);
+        stats.Record(kUserReadBytes, 37);
+        // Balanced up/down traffic, as shards' in-flight job counters
+        // produce: the gauge must come back to exactly zero.
+        stats.AddGauge(kBgJobsRunning);
+        stats.RecordLatency(OpHistogram::kReadLatencyUs,
+                            static_cast<double>(i % 100));
+        stats.SubGauge(kBgJobsRunning);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kOpsPerThread,
+            stats.Get(kGets));
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kOpsPerThread * 37,
+            stats.Get(kUserReadBytes));
+  EXPECT_EQ(0u, stats.GetGauge(kBgJobsRunning));
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser::Parse(stats.ToJson(), &doc));
+  const JsonValue& hist =
+      doc["histograms"][OpHistogramName(OpHistogram::kReadLatencyUs)];
+  ASSERT_EQ(JsonValue::kObject, hist.type);
+  EXPECT_EQ(static_cast<double>(kThreads) * kOpsPerThread,
+            hist["count"].number);
 }
 
 }  // namespace ldc
