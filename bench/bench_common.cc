@@ -17,6 +17,26 @@ namespace {
 int g_bench_threads = 1;
 int g_bench_bg_jobs = 1;
 int g_bench_shards = 1;
+uint64_t g_bench_requests = 0;  // 0 => keep the scaled default
+std::string g_trace_path;
+Tracer* g_tracer = nullptr;
+
+void ExportTraceAtExit() {
+  if (g_tracer == nullptr || g_trace_path.empty()) return;
+  const std::string json = g_tracer->ExportChromeTrace();
+  std::FILE* f = std::fopen(g_trace_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                 g_trace_path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("  wrote %s (%zu events, %llu dropped)\n", g_trace_path.c_str(),
+              g_tracer->events(),
+              static_cast<unsigned long long>(g_tracer->dropped()));
+}
 
 // Emulated device write bandwidth for wall-clock mode. MemEnv file ops cost
 // no time, which makes background work purely CPU-bound — on a small
@@ -68,10 +88,40 @@ class ThreadedMemEnv : public EnvWrapper {
  public:
   explicit ThreadedMemEnv(Env* mem) : EnvWrapper(mem) {}
 
+  // The trace wrapper goes OUTSIDE the device-delay wrapper so io.write
+  // spans include the emulated device time, matching what a real SSD's
+  // Env would report. The wrapped mem env has no tracer of its own.
   Status NewWritableFile(const std::string& f, WritableFile** r) override {
     Status s = EnvWrapper::NewWritableFile(f, r);
     if (s.ok() && DeviceUsPerKb() > 0) {
       *r = new DelayedWritableFile(*r, DeviceUsPerKb());
+    }
+    if (s.ok()) {
+      if (Tracer* tracer = io_tracer()) {
+        *r = NewTracedWritableFile(tracer, *r, f);
+      }
+    }
+    return s;
+  }
+
+  Status NewSequentialFile(const std::string& f,
+                           SequentialFile** r) override {
+    Status s = EnvWrapper::NewSequentialFile(f, r);
+    if (s.ok()) {
+      if (Tracer* tracer = io_tracer()) {
+        *r = NewTracedSequentialFile(tracer, *r, f);
+      }
+    }
+    return s;
+  }
+
+  Status NewRandomAccessFile(const std::string& f,
+                             RandomAccessFile** r) override {
+    Status s = EnvWrapper::NewRandomAccessFile(f, r);
+    if (s.ok()) {
+      if (Tracer* tracer = io_tracer()) {
+        *r = NewTracedRandomAccessFile(tracer, *r, f);
+      }
     }
     return s;
   }
@@ -117,15 +167,39 @@ void InitBenchFlags(int argc, char** argv) {
         std::exit(2);
       }
       g_bench_shards = n;
+    } else if (std::strncmp(arg, "--requests=", 11) == 0) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(arg + 11, &end, 10);
+      if (n < 1 || end == arg + 11 || *end != '\0') {
+        std::fprintf(stderr, "fatal: --requests must be >= 1 (got %s)\n",
+                     arg + 11);
+        std::exit(2);
+      }
+      g_bench_requests = n;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      if (arg[8] == '\0') {
+        std::fprintf(stderr, "fatal: --trace needs a file name\n");
+        std::exit(2);
+      }
+      g_trace_path = arg + 8;
     } else {
       std::fprintf(stderr,
                    "fatal: unknown flag %s (supported: --threads=N, "
-                   "--bg-jobs=N, --shards=N)\n",
+                   "--bg-jobs=N, --shards=N, --requests=N, --trace=FILE)\n",
                    arg);
       std::exit(2);
     }
   }
+  if (!g_trace_path.empty() && g_tracer == nullptr) {
+    // Shared by every BenchDb for the rest of the process; exported once,
+    // at exit, after the last pass finished. Deliberately leaked: spans
+    // may still end during static destruction of bench globals.
+    g_tracer = new Tracer(1 << 18);
+    std::atexit(&ExportTraceAtExit);
+  }
 }
+
+Tracer* BenchTracer() { return g_tracer; }
 
 uint64_t ScaledOps(uint64_t base) {
   const char* scale = std::getenv("LDCKV_BENCH_SCALE");
@@ -139,6 +213,12 @@ BenchParams DefaultBenchParams() {
   BenchParams params;
   params.num_ops = ScaledOps(params.num_ops);
   params.key_space = ScaledOps(params.key_space);
+  if (g_bench_requests > 0) {
+    // --requests=N pins the op count exactly (no LDCKV_BENCH_SCALE),
+    // shrinking the key space with it to keep the tree shape.
+    params.num_ops = g_bench_requests;
+    params.key_space = g_bench_requests;
+  }
   params.threads = g_bench_threads;
   params.bg_jobs = g_bench_bg_jobs;
   params.shards = g_bench_shards;
@@ -180,6 +260,13 @@ BenchDb::BenchDb(const BenchParams& params)
   options.frozen_space_limit_ratio = params.frozen_space_limit_ratio;
   options.filter_policy = filter_policy_.get();
   options.statistics = stats_.get();
+  if (Tracer* tracer = BenchTracer()) {
+    options.tracer = tracer;
+    // Install the I/O tracer on the outermost Env layer only, so each file
+    // op is recorded once (ThreadedMemEnv in wall-clock mode wraps after
+    // the device-delay shim; the plain mem env wraps internally).
+    options.env->SetIoTracer(tracer);
+  }
   // Wall-clock (multi-threaded or sharded) runs drop the simulator: the
   // virtual device timeline is single-threaded by construction.
   options.sim = wall_clock ? nullptr : sim_.get();

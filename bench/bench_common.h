@@ -23,6 +23,7 @@
 #include "ldc/filter_policy.h"
 #include "ldc/sim.h"
 #include "ldc/statistics.h"
+#include "ldc/trace.h"
 #include "workload/workload.h"
 
 namespace ldc {
@@ -67,10 +68,18 @@ struct BenchParams {
   SsdModel ssd;
 };
 
-// Parses shared command-line flags (--threads=N, --bg-jobs=N, --shards=N).
-// Call at the top of every bench main; exits with an error on unknown
-// flags. Parsed values are applied by DefaultBenchParams().
+// Parses shared command-line flags (--threads=N, --bg-jobs=N, --shards=N,
+// --requests=N, --trace=FILE). Call at the top of every bench main; exits
+// with an error on unknown flags. Parsed values are applied by
+// DefaultBenchParams(); --trace creates the process-wide tracer (see
+// BenchTracer) and registers an exit handler that writes the Chrome
+// trace-event JSON to FILE.
 void InitBenchFlags(int argc, char** argv);
+
+// The process-wide tracer when --trace=FILE was passed, else nullptr.
+// Every BenchDb in the run shares it (options.tracer + the Env I/O
+// tracer), so one timeline covers all passes and shards.
+Tracer* BenchTracer();
 
 // Default parameters, scaled by the LDCKV_BENCH_SCALE environment variable
 // and the flags captured by InitBenchFlags.

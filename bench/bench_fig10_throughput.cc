@@ -33,6 +33,9 @@ Row RunPair(const std::string& workload) {
     BenchParams params = DefaultBenchParams();
     params.style = pass == 0 ? CompactionStyle::kUdc : CompactionStyle::kLdc;
     BenchDb bench(params);
+    // Interval accounting: everything below reads the delta over this
+    // pass's measured window, not counters accumulated since Open.
+    const TickerSnapshot before = bench.stats()->Snapshot();
     WorkloadResult result = bench.RunWorkload(MakeSpec(params, workload));
     if (!result.status.ok()) {
       std::fprintf(stderr, "workload %s failed: %s\n", workload.c_str(),
@@ -40,13 +43,14 @@ Row RunPair(const std::string& workload) {
       std::exit(1);
     }
     ExportBenchJson("fig10_" + workload + "_" + StyleName(params.style), bench);
-    const uint64_t read = bench.stats()->Get(kCompactionReadBytes);
-    const uint64_t write = bench.stats()->Get(kCompactionWriteBytes);
+    const TickerSnapshot window = bench.stats()->SnapshotDelta(before);
+    const uint64_t read = window.Get(kCompactionReadBytes);
+    const uint64_t write = window.Get(kCompactionWriteBytes);
     if (params.threads > 1) {
       // Wall-clock mode: report the scheduler's behavior so --bg-jobs
       // sweeps are comparable (stall time down, merge overlap up).
-      const uint64_t stall_us = bench.stats()->Get(kStallMicros) +
-                                bench.stats()->Get(kSlowdownMicros);
+      const uint64_t stall_us =
+          window.Get(kStallMicros) + window.Get(kSlowdownMicros);
       std::string merges = "0";
       bench.db()->GetProperty("ldc.parallel-merges", &merges);
       std::printf("  [%s %s bg-jobs=%d] write-stall %llu us, peak parallel "

@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
       params.num_ops = static_cast<uint64_t>(base.num_ops * mult);
       params.key_space = static_cast<uint64_t>(base.key_space * mult);
       BenchDb bench(params);
+      // Interval accounting: read this pass's window, not the counters
+      // accumulated since Open.
+      const TickerSnapshot before = bench.stats()->Snapshot();
       WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
       if (!result.status.ok()) {
         std::fprintf(stderr, "run failed: %s\n",
@@ -40,15 +43,16 @@ int main(int argc, char** argv) {
       ExportBenchJson("fig14_ops" + std::to_string(params.num_ops) + "_" +
                           StyleName(params.style),
                       bench);
+      const TickerSnapshot window = bench.stats()->SnapshotDelta(before);
       thpt[pass] = result.throughput_ops_per_sec;
-      io[pass] = bench.stats()->Get(kCompactionReadBytes) +
-                 bench.stats()->Get(kCompactionWriteBytes);
+      io[pass] = window.Get(kCompactionReadBytes) +
+                 window.Get(kCompactionWriteBytes);
       if (params.threads > 1 || params.shards > 1) {
         // Wall-clock mode: report the scheduler's behavior so --bg-jobs
         // and --shards sweeps are comparable (stall time down, merge
         // overlap up, writers spread across shard WALs).
-        const uint64_t stall_us = bench.stats()->Get(kStallMicros) +
-                                  bench.stats()->Get(kSlowdownMicros);
+        const uint64_t stall_us =
+            window.Get(kStallMicros) + window.Get(kSlowdownMicros);
         std::string merges = "0";
         bench.db()->GetProperty("ldc.parallel-merges", &merges);
         std::printf("  [%s ops=%llu bg-jobs=%d shards=%d] write-stall %llu "

@@ -9,6 +9,7 @@
 #ifndef LDC_INCLUDE_ENV_H_
 #define LDC_INCLUDE_ENV_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <string>
@@ -21,6 +22,7 @@ namespace ldc {
 class FileLock;
 class RandomAccessFile;
 class SequentialFile;
+class Tracer;
 class WritableFile;
 
 class Env {
@@ -130,6 +132,24 @@ class Env {
   // micro-seconds. Deterministic environments advance their virtual clock
   // instead of blocking.
   virtual void SleepForMicroseconds(int micros);
+
+  // I/O tracing. When a tracer is installed on an Env instance, the
+  // built-in Envs (POSIX, in-memory, and the bench Env) wrap every file
+  // they open so each read/write/sync lands on the tracer's timeline with
+  // offset/length/duration (see ldc/trace.h). Non-virtual: the setting is
+  // per-instance, and an EnvWrapper that opens files itself consults its
+  // own io_tracer(). Install the tracer on exactly one layer of a wrapper
+  // chain, or I/O will be recorded twice. Files opened before the call are
+  // not retroactively traced; the tracer must outlive them.
+  void SetIoTracer(Tracer* tracer) {
+    io_tracer_.store(tracer, std::memory_order_release);
+  }
+  Tracer* io_tracer() const {
+    return io_tracer_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<Tracer*> io_tracer_{nullptr};
 };
 
 // An implementation of Env that forwards all calls to another Env. May be

@@ -17,6 +17,7 @@ class ShardRouter;
 class SimContext;
 class Snapshot;
 class Statistics;
+class Tracer;
 
 // DB contents are stored in a set of blocks, each of which holds a
 // sequence of key,value pairs. Each block may be compressed before
@@ -216,6 +217,17 @@ struct Options {
   // be written to info_log if it is non-null, or to a LOG file stored in
   // the DB directory if info_log is null. The DB does not take ownership.
   Logger* info_log = nullptr;
+
+  // If non-null, record timeline spans for every operation: writes
+  // (group-commit leader/follower, WAL append, memtable insert, stalls),
+  // reads, flushes, compactions, LDC links/merges, and ShardedDB fan-out,
+  // with flow links from each background job back to the foreground event
+  // that caused it. Export with Tracer::ExportChromeTrace() (Perfetto /
+  // chrome://tracing) or inspect via the "ldc.trace-summary" property.
+  // To also capture file-level I/O, install the same tracer on the Env
+  // with Env::SetIoTracer. Not owned; must outlive the DB. When null (the
+  // default) the instrumentation cost is one branch per site.
+  Tracer* tracer = nullptr;
 
   // Listeners invoked on flush / compaction / LDC link / LDC merge /
   // frozen-file reclaim / write-stall events (see ldc/listener.h). Called

@@ -35,6 +35,7 @@ struct PerfContext {
   // Filter effectiveness.
   uint64_t bloom_filter_checks = 0;   // bloom filters consulted
   uint64_t bloom_filter_useful = 0;   // consults that avoided a block read
+  uint64_t bloom_skipped_tables = 0;  // whole tables/slices skipped by bloom
 
   // LDC read-path fan-out: linked slices probed before the lower file.
   uint64_t slice_sources_checked = 0;

@@ -24,6 +24,7 @@
 namespace ldc {
 
 class Cache;
+class Tracer;
 
 // Maps user keys to shards. Implementations must be deterministic and
 // stateless: the same key must map to the same shard in every process
@@ -109,6 +110,7 @@ class ShardedDB : public DB {
   const std::string name_;
   const ShardRouter* router_;  // Not owned.
   const Comparator* user_comparator_;
+  Tracer* const tracer_;  // Not owned; shared with every shard. May be null.
 
   // Shared across all shards; set (and owned) here only when the user
   // did not supply their own cache in Options.

@@ -90,6 +90,14 @@ enum class OpHistogram : uint32_t {
 
 const char* OpHistogramName(OpHistogram histogram);
 
+// A point-in-time copy of every ticker, used to compute interval deltas
+// (e.g. "write stalls during this benchmark pass" rather than since Open).
+struct TickerSnapshot {
+  uint64_t values[kTickerCount] = {};
+
+  uint64_t Get(Ticker ticker) const { return values[ticker]; }
+};
+
 class Statistics {
  public:
   Statistics();
@@ -120,6 +128,30 @@ class Statistics {
 
   uint64_t GetGauge(Gauge gauge) const {
     return gauges_[gauge].load(std::memory_order_relaxed);
+  }
+
+  // Copy every ticker at this instant. Not a cross-ticker atomic cut:
+  // tickers updated concurrently may be split across the read loop, which
+  // is fine for the windowed reporting this feeds.
+  TickerSnapshot Snapshot() const {
+    TickerSnapshot snap;
+    for (uint32_t i = 0; i < kTickerCount; i++) {
+      snap.values[i] = tickers_[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  // Per-ticker difference between now and "since": the activity inside the
+  // window. Saturating per ticker — if a counter is below its snapshotted
+  // value (Reset() ran inside the window), the current value is reported
+  // instead of an underflowed delta.
+  TickerSnapshot SnapshotDelta(const TickerSnapshot& since) const {
+    TickerSnapshot delta;
+    for (uint32_t i = 0; i < kTickerCount; i++) {
+      const uint64_t cur = tickers_[i].load(std::memory_order_relaxed);
+      delta.values[i] = cur >= since.values[i] ? cur - since.values[i] : cur;
+    }
+    return delta;
   }
 
   // Thread-safe: concurrent writer/reader client threads record latencies

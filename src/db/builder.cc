@@ -7,6 +7,7 @@
 #include "ldc/env.h"
 #include "ldc/iterator.h"
 #include "ldc/options.h"
+#include "ldc/trace.h"
 #include "table/table_builder.h"
 
 namespace ldc {
@@ -18,6 +19,8 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
   iter->SeekToFirst();
 
   std::string fname = TableFileName(dbname, meta->number);
+  TraceSpan span(options.tracer, TraceCat::kFlush, "table.build");
+  span.SetArg1("file", meta->number);
   if (iter->Valid()) {
     WritableFile* file;
     s = env->NewWritableFile(fname, &file);
@@ -75,6 +78,7 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
   } else {
     env->RemoveFile(fname);
   }
+  span.SetArg2("bytes", meta->file_size);
   return s;
 }
 

@@ -21,6 +21,7 @@
 #include "ldc/sharded_db.h"
 #include "ldc/sim.h"
 #include "ldc/statistics.h"
+#include "ldc/trace.h"
 #include "ldc/write_batch.h"
 #include "memtbl/memtable.h"
 #include "table/merger.h"
@@ -94,6 +95,23 @@ template <class T, class V>
 static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
   if (static_cast<V>(*ptr) > maxvalue) *ptr = maxvalue;
   if (static_cast<V>(*ptr) < minvalue) *ptr = minvalue;
+}
+
+// Renders a finished job's accumulated per-stage times as three consecutive
+// sub-spans under the job span (read | merge | write). The stages interleave
+// inside the merge loop; what lands on the timeline is each stage's
+// aggregate share of the job — the quantity intra-merge pipelining work
+// needs to compare. Durations come from Env::NowMicros (deterministic
+// counter under the in-memory Env, wall time elsewhere).
+void EmitStageSpans(TraceSpan* span, TraceCat cat, const char* label,
+                    uint64_t read_us, uint64_t merge_us, uint64_t write_us) {
+  if (!span->active()) return;
+  Tracer* tracer = span->tracer();
+  const uint64_t ts = span->start_ts();
+  tracer->Complete(cat, "stage.read", ts, read_us, label);
+  tracer->Complete(cat, "stage.merge", ts + read_us, merge_us, label);
+  tracer->Complete(cat, "stage.write", ts + read_us + merge_us, write_us,
+                   label);
 }
 
 }  // namespace
@@ -209,9 +227,13 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       smoothed_write_fraction_(0.5),
       versions_(nullptr),
       sim_(raw_options.sim),
-      stats_(raw_options.statistics) {
+      stats_(raw_options.statistics),
+      tracer_(raw_options.tracer) {
   versions_ = new VersionSet(dbname_, &options_, table_cache_,
                              &internal_comparator_);
+  const size_t slash = dbname_.find_last_of('/');
+  trace_label_ =
+      slash == std::string::npos ? dbname_ : dbname_.substr(slash + 1);
 }
 
 DBImpl::~DBImpl() {
@@ -590,6 +612,13 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
 
 Status DBImpl::CompactMemTable() {
   assert(imm_ != nullptr);
+  TraceSpan span(tracer_, TraceCat::kFlush, "job.flush");
+  span.SetLabel(trace_label_);
+  if (pending_flush_flow_ != 0) {
+    // Link back to the memtable switch that made this flush necessary.
+    span.SetFlowIn(pending_flush_flow_);
+    pending_flush_flow_ = 0;
+  }
 
   // Save the contents of the memtable as a new Table
   VersionEdit edit;
@@ -614,6 +643,9 @@ Status DBImpl::CompactMemTable() {
     imm_->Unref();
     imm_ = nullptr;
     has_imm_.store(false, std::memory_order_release);
+    // Freeing imm_ is what clears memtable-limit stalls: expose this span's
+    // flow id so a woken writer's stall span can point back at it.
+    last_unblocker_flow_ = span.EmitFlowOut();
     RemoveObsoleteFiles();
   } else {
     RecordBackgroundError(s);
@@ -660,6 +692,7 @@ void DBImpl::AbortQueuedJobs() {
   job_queue_.clear();
   pending_merges_.clear();
   pending_merge_set_.clear();
+  pending_merge_flow_.clear();
 }
 
 uint64_t DBImpl::NowMicros() const {
@@ -815,6 +848,10 @@ void DBImpl::NotifyLdcMerge(const LdcMergeInfo& info) {
 void DBImpl::NotifyFrozenFileReclaimed(const FrozenFileReclaimedInfo& info) {
   for (EventListener* listener : options_.listeners) {
     listener->OnFrozenFileReclaimed(info);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceCat::kLdc, "ldc.frozen_reclaimed",
+                     trace_label_.c_str());
   }
   Log(options_.info_log, "frozen file reclaimed: #%llu (%llu bytes)",
       static_cast<unsigned long long>(info.file_number),
@@ -1301,6 +1338,8 @@ std::vector<uint64_t> DBImpl::PickTieredGroup(uint64_t* total_bytes) {
 }
 
 Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
+  TraceSpan job_span(tracer_, TraceCat::kCompaction, "job.tiered_merge");
+  job_span.SetLabel(trace_label_);
   // Entered with mutex_ held. Pin the base version so its file metadata
   // stays valid while the merge loop runs with the lock released.
   Version* base = versions_->current();
@@ -1512,6 +1551,16 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   // consumed still count as live and would survive the sweep.
   base->Unref();
   if (status.ok()) {
+    job_span.SetArg1("read_bytes", input_bytes);
+    job_span.SetArg2("write_bytes", out.file_size);
+    EmitStageSpans(&job_span, TraceCat::kCompaction, trace_label_.c_str(),
+                   read_us,
+                   loop_us > read_us + write_us ? loop_us - read_us - write_us
+                                                : 0,
+                   write_us);
+    // Level 0 drained: expose this span's flow id so a writer stalled on
+    // the L0 triggers can point its stall span back at this merge.
+    last_unblocker_flow_ = job_span.EmitFlowOut();
     RemoveObsoleteFiles();
   }
   return status;
@@ -1527,6 +1576,14 @@ void DBImpl::EnqueueLdcMerge(uint64_t lower_file_number) {
   }
   if (pending_merge_set_.insert(lower_file_number).second) {
     pending_merges_.push_back(lower_file_number);
+    if (tracer_ != nullptr) {
+      // Hand a flow id to the future merge job so its span points back at
+      // the link decision that enqueued it.
+      uint64_t& flow = pending_merge_flow_[lower_file_number];
+      if (flow == 0) flow = Tracer::NewId();
+      tracer_->Instant(TraceCat::kLdc, "ldc.enqueue_merge",
+                       trace_label_.c_str(), 0, flow);
+    }
   }
 }
 
@@ -1623,6 +1680,11 @@ bool DBImpl::DoLdcLinkWork() {
     }
     link_info.micros = env_->NowMicros();
     NotifyLdcLink(link_info);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceCat::kLdc,
+                       plan.trivial_move ? "ldc.trivial_move" : "ldc.link",
+                       trace_label_.c_str());
+    }
 
     // Merge trigger: a lower-level SSTable accumulated >= T_s slices
     // (Algorithm 1, lines 8-9).
@@ -1636,6 +1698,16 @@ bool DBImpl::DoLdcLinkWork() {
 }
 
 Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
+  TraceSpan job_span(tracer_, TraceCat::kLdc, "job.ldc_merge");
+  job_span.SetLabel(trace_label_);
+  job_span.SetArg1("lower_file", lower_file_number);
+  if (tracer_ != nullptr) {
+    const auto flow_it = pending_merge_flow_.find(lower_file_number);
+    if (flow_it != pending_merge_flow_.end()) {
+      job_span.SetFlowIn(flow_it->second);
+      pending_merge_flow_.erase(flow_it);
+    }
+  }
   // Locate the lower file in the current version (O(1) via the version's
   // file-number index rather than a scan over every level).
   Version* base = versions_->current();
@@ -1955,6 +2027,14 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
   // consumed still count as live and would survive the sweep.
   base->Unref();
   if (status.ok()) {
+    job_span.SetArg2("slices", static_cast<uint64_t>(num_slices));
+    EmitStageSpans(&job_span, TraceCat::kLdc, trace_label_.c_str(), read_us,
+                   loop_us > read_us + write_us ? loop_us - read_us - write_us
+                                                : 0,
+                   write_us);
+    // A finished merge both drains level-0 pressure and (with the flush
+    // this loop may have run inline) clears stalls: expose the flow id.
+    last_unblocker_flow_ = job_span.EmitFlowOut();
     RemoveObsoleteFiles();
   }
   return status;
@@ -2066,6 +2146,11 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   assert(versions_->NumLevelFiles(compact->compaction->level()) > 0);
   assert(compact->builder == nullptr);
   assert(compact->outfile == nullptr);
+
+  TraceSpan job_span(tracer_, TraceCat::kCompaction, "job.udc_compaction");
+  job_span.SetLabel(trace_label_);
+  job_span.SetArg1("level",
+                   static_cast<uint64_t>(compact->compaction->level()));
 
   if (snapshots_.empty()) {
     compact->smallest_snapshot = versions_->LastSequence();
@@ -2257,6 +2342,11 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       info.micros = env_->NowMicros();
       info.duration_micros = info.micros - start_us;
       NotifyCompactionEvent(true, info);
+
+      job_span.SetArg2("write_bytes", compact->total_bytes);
+      EmitStageSpans(&job_span, TraceCat::kCompaction, trace_label_.c_str(),
+                     read_us, cstats.merge_micros, write_us);
+      last_unblocker_flow_ = job_span.EmitFlowOut();
     }
   }
   return status;
@@ -2332,6 +2422,9 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   if (sim_ != nullptr) sim_->Pump();
   const uint64_t start_us = NowMicros();
 
+  TraceSpan op_span(tracer_, TraceCat::kGet, "db.get");
+  op_span.SetLabel(trace_label_);
+
   Status s;
   mutex_.lock();
   ObserveOp(false);
@@ -2378,6 +2471,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   if (sim_ != nullptr) {
     sim_->AdvanceMicros(kPointLookupCpuUs, SimActivity::kCpu);
   }
+  op_span.SetArg1("found", s.ok() ? 1 : 0);
   if (stats_ != nullptr) {
     stats_->RecordLatency(OpHistogram::kReadLatencyUs,
                           static_cast<double>(NowMicros() - start_us));
@@ -2430,6 +2524,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (sim_ != nullptr) sim_->Pump();
   const uint64_t start_us = NowMicros();
 
+  TraceSpan op_span(tracer_, TraceCat::kWrite, "db.write");
+  op_span.SetLabel(trace_label_);
+
   Writer w;
   w.batch = updates;
   w.sync = options.sync;
@@ -2438,8 +2535,14 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   mutex_.lock();
   ObserveOp(true);
   writers_.push_back(&w);
-  while (!w.done && &w != writers_.front()) {
-    w.cv.wait(mutex_);
+  if (!w.done && &w != writers_.front()) {
+    // Waiting for an earlier leader: either it commits this batch as part
+    // of its group (done) or this writer becomes the next leader.
+    TraceSpan wait_span(tracer_, TraceCat::kWrite, "write.queue_wait");
+    wait_span.SetLabel(trace_label_);
+    while (!w.done && &w != writers_.front()) {
+      w.cv.wait(mutex_);
+    }
   }
   if (w.done) {
     // A leader committed this batch as part of its group.
@@ -2469,15 +2572,23 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     {
       mutex_.unlock();
       const Slice contents = WriteBatchInternal::Contents(write_batch);
-      status = log_->AddRecord(contents);
+      op_span.SetArg1("group_entries", static_cast<uint64_t>(count));
+      op_span.SetArg2("group_bytes", contents.size());
       bool sync_error = false;
-      if (status.ok() && options.sync) {
-        status = logfile_->Sync();
-        if (!status.ok()) {
-          sync_error = true;
+      {
+        TraceSpan wal_span(tracer_, TraceCat::kWrite, "wal.append");
+        wal_span.SetArg1("bytes", contents.size());
+        status = log_->AddRecord(contents);
+        if (status.ok() && options.sync) {
+          status = logfile_->Sync();
+          if (!status.ok()) {
+            sync_error = true;
+          }
         }
       }
       if (status.ok()) {
+        TraceSpan mem_span(tracer_, TraceCat::kWrite, "memtable.insert");
+        mem_span.SetArg1("entries", static_cast<uint64_t>(count));
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
       if (stats_ != nullptr) {
@@ -2594,13 +2705,17 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // seconds when we hit the hard limit, start delaying each
       // individual write by 1ms to reduce latency variance.
       MaybeScheduleCompaction();
-      if (sim_ != nullptr) {
-        // Virtual clock: the delay costs 1ms of simulated time.
-        sim_->AdvanceMicros(1000.0, SimActivity::kCpu);
-      } else {
-        mutex_.unlock();
-        env_->SleepForMicroseconds(1000);
-        mutex_.lock();
+      {
+        TraceSpan stall_span(tracer_, TraceCat::kStall, "stall.l0_slowdown");
+        stall_span.SetLabel(trace_label_);
+        if (sim_ != nullptr) {
+          // Virtual clock: the delay costs 1ms of simulated time.
+          sim_->AdvanceMicros(1000.0, SimActivity::kCpu);
+        } else {
+          mutex_.unlock();
+          env_->SleepForMicroseconds(1000);
+          mutex_.lock();
+        }
       }
       if (stats_ != nullptr) {
         stats_->Record(kSlowdownMicros, 1000);
@@ -2616,6 +2731,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // We have filled up the current memtable, but the previous
       // one is still being flushed, so we wait.
       const uint64_t stall_start = NowMicros();
+      TraceSpan stall_span(tracer_, TraceCat::kStall, "stall.memtable_wait");
+      stall_span.SetLabel(trace_label_);
       MaybeScheduleCompaction();
       if (sim_ != nullptr) {
         if (sim_->HasPendingBackgroundJobs()) {
@@ -2631,6 +2748,9 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         s = Status::IOError("immutable memtable was not flushed");
         break;
       }
+      // Link the stall back to the background job that (most recently)
+      // finished and woke this writer.
+      if (last_unblocker_flow_ != 0) stall_span.SetFlowIn(last_unblocker_flow_);
       const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
         stats_->Record(kStallMicros, stall_us);
@@ -2642,6 +2762,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
                versions_->NumLevelFiles(0) >= options_.l0_stop_trigger) {
       // There are too many level-0 files.
       const uint64_t stall_start = NowMicros();
+      TraceSpan stall_span(tracer_, TraceCat::kStall, "stall.l0_stop");
+      stall_span.SetLabel(trace_label_);
       MaybeScheduleCompaction();
       if (sim_ != nullptr) {
         if (sim_->HasPendingBackgroundJobs()) {
@@ -2656,6 +2778,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
         s = Status::IOError("level-0 files did not drain");
         break;
       }
+      if (last_unblocker_flow_ != 0) stall_span.SetFlowIn(last_unblocker_flow_);
       const uint64_t stall_us = NowMicros() - stall_start;
       if (stats_ != nullptr) {
         stats_->Record(kStallMicros, stall_us);
@@ -2682,6 +2805,12 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       mem_ = new MemTable(internal_comparator_);
       mem_->Ref();
       force = false;  // Do not force another compaction if have room
+      if (tracer_ != nullptr) {
+        // Flow id handed to the flush job that will persist this memtable.
+        pending_flush_flow_ = Tracer::NewId();
+        tracer_->Instant(TraceCat::kFlush, "memtable.switch",
+                         trace_label_.c_str(), 0, pending_flush_flow_);
+      }
       MaybeScheduleCompaction();
     }
   }
@@ -2905,6 +3034,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   } else if (in == "parallel-merges") {
     // Peak number of LDC merges observed running simultaneously.
     *value = NumberToString(static_cast<uint64_t>(max_parallel_merges_));
+    return true;
+  } else if (in == "trace-summary") {
+    if (tracer_ == nullptr) {
+      return false;
+    }
+    *value = tracer_->SummaryJson();
     return true;
   }
 

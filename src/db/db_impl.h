@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/dbformat.h"
@@ -24,6 +25,7 @@ class MemTable;
 class SimContext;
 class Statistics;
 class TableCache;
+class Tracer;
 class Version;
 class VersionEdit;
 class VersionSet;
@@ -314,6 +316,24 @@ class DBImpl : public DB {
 
   SimContext* const sim_;
   Statistics* const stats_;
+
+  // --- Tracing (see ldc/trace.h) ----------------------------------------
+  // All fields below are no-ops when tracer_ is null (one branch per site).
+  Tracer* const tracer_;
+  // Basename of dbname_ ("shard-3", "benchdb", ...) stamped into every
+  // span's label so per-shard activity is identifiable on one timeline.
+  std::string trace_label_;
+  // Flow handoffs, all protected by mutex_:
+  // flow id emitted by the memtable switch in MakeRoomForWrite and consumed
+  // by the flush job span (foreground cause -> background flush);
+  uint64_t pending_flush_flow_ = 0;
+  // flow id emitted by EnqueueLdcMerge, keyed by lower file number, and
+  // consumed by that file's DoLdcMerge span (link decision -> merge job);
+  std::unordered_map<uint64_t, uint64_t> pending_merge_flow_;
+  // flow id of the most recently completed background job; a write that
+  // was stalled reads it after waking so its stall span flow-links to the
+  // job that unblocked it.
+  uint64_t last_unblocker_flow_ = 0;
 };
 
 // Sanitize db options. The caller should delete result.filter_policy if

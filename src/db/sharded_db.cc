@@ -13,6 +13,7 @@
 #include "ldc/cache.h"
 #include "ldc/comparator.h"
 #include "ldc/env.h"
+#include "ldc/trace.h"
 #include "ldc/write_batch.h"
 #include "table/merger.h"
 #include "util/hash.h"
@@ -154,7 +155,8 @@ ShardedDB::ShardedDB(const Options& options, const std::string& name)
     : name_(name),
       router_(options.shard_router != nullptr ? options.shard_router
                                               : HashShardRouter()),
-      user_comparator_(options.comparator) {}
+      user_comparator_(options.comparator),
+      tracer_(options.tracer) {}
 
 ShardedDB::~ShardedDB() {
   // Shards first: their table caches still hold handles into the shared
@@ -292,14 +294,23 @@ Status ShardedDB::Open(const Options& options, const std::string& name,
 
 Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
                       const Slice& value) {
-  return shards_[ShardOf(key)]->Put(options, key, value);
+  const uint32_t shard = ShardOf(key);
+  // The shard's own db.write span nests inside this one (same thread,
+  // contained timestamps), giving the per-shard child span in the trace.
+  TraceSpan span(tracer_, TraceCat::kShard, "sharded.put");
+  span.SetArg1("shard", shard);
+  return shards_[shard]->Put(options, key, value);
 }
 
 Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
-  return shards_[ShardOf(key)]->Delete(options, key);
+  const uint32_t shard = ShardOf(key);
+  TraceSpan span(tracer_, TraceCat::kShard, "sharded.delete");
+  span.SetArg1("shard", shard);
+  return shards_[shard]->Delete(options, key);
 }
 
 Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  TraceSpan span(tracer_, TraceCat::kShard, "sharded.write");
   if (updates == nullptr) {
     // A null batch is a write barrier; run it on every shard.
     for (DB* shard : shards_) {
@@ -321,6 +332,7 @@ Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
       only_shard = static_cast<int>(i);
     }
   }
+  span.SetArg1("involved_shards", static_cast<uint64_t>(involved));
   if (involved == 0) {
     return Status::OK();
   }
@@ -351,6 +363,8 @@ Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
 Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
                       std::string* value) {
   const uint32_t shard = ShardOf(key);
+  TraceSpan span(tracer_, TraceCat::kShard, "sharded.get");
+  span.SetArg1("shard", shard);
   return shards_[shard]->Get(ShardReadOptions(options, shard), key, value);
 }
 
@@ -416,7 +430,9 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
   }
 
   // Shared state / per-shard config: every shard reports the same value.
-  if (in == Slice("block-cache-usage") || in == Slice("slice-link-threshold")) {
+  // (All shards share one tracer, so shard 0's trace summary is global.)
+  if (in == Slice("block-cache-usage") || in == Slice("slice-link-threshold") ||
+      in == Slice("trace-summary")) {
     return shards_[0]->GetProperty(property, value);
   }
 

@@ -3,6 +3,7 @@
 #include "db/filename.h"
 #include "ldc/env.h"
 #include "ldc/options.h"
+#include "ldc/trace.h"
 #include "util/coding.h"
 
 namespace ldc {
@@ -49,6 +50,10 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   *handle = cache_->Lookup(key);
   if (*handle == nullptr) {
     std::string fname = TableFileName(dbname_, file_number);
+    // Cache-miss loads are the expensive path worth a timeline entry;
+    // cache hits stay trace-free.
+    TraceSpan span(options_.tracer, TraceCat::kIo, "table.open");
+    span.SetArg1("file", file_number);
     RandomAccessFile* file = nullptr;
     Table* table = nullptr;
     s = env_->NewRandomAccessFile(fname, &file);

@@ -414,6 +414,7 @@ bool Version::SearchFileGroup(const ReadOptions& options, FileMetaData* f,
       if (!vset_->table_cache_->KeyMayMatch(frozen->number, frozen->file_size,
                                             ikey)) {
         if (stats != nullptr) stats->Record(kBloomSkippedTables);
+        GetPerfContext()->bloom_skipped_tables++;
         continue;
       }
       Status read_status =
@@ -433,6 +434,7 @@ bool Version::SearchFileGroup(const ReadOptions& options, FileMetaData* f,
       ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
     if (!vset_->table_cache_->KeyMayMatch(f->number, f->file_size, ikey)) {
       if (stats != nullptr) stats->Record(kBloomSkippedTables);
+      GetPerfContext()->bloom_skipped_tables++;
     } else {
       Status read_status = vset_->table_cache_->Get(options, f->number,
                                                     f->file_size, ikey, &saver,
@@ -495,6 +497,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
       // filter proves the key absent before paying for the table seek.
       if (!vset_->table_cache_->KeyMayMatch(f->number, f->file_size, ikey)) {
         if (stats != nullptr) stats->Record(kBloomSkippedTables);
+        GetPerfContext()->bloom_skipped_tables++;
         continue;
       }
       Status read_status = vset_->table_cache_->Get(

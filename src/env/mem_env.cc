@@ -13,6 +13,7 @@
 
 #include "ldc/env.h"
 #include "ldc/status.h"
+#include "ldc/trace.h"
 
 namespace ldc {
 
@@ -235,6 +236,9 @@ class InMemoryEnv : public Env {
     }
 
     *result = new SequentialFileImpl(file_map_[fname]);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedSequentialFile(tracer, *result, fname);
+    }
     return Status::OK();
   }
 
@@ -247,6 +251,9 @@ class InMemoryEnv : public Env {
     }
 
     *result = new RandomAccessFileImpl(file_map_[fname]);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedRandomAccessFile(tracer, *result, fname);
+    }
     return Status::OK();
   }
 
@@ -267,6 +274,9 @@ class InMemoryEnv : public Env {
     }
 
     *result = new WritableFileImpl(file);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedWritableFile(tracer, *result, fname);
+    }
     return Status::OK();
   }
 
@@ -282,6 +292,9 @@ class InMemoryEnv : public Env {
     }
 
     *result = new WritableFileImpl(file);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedWritableFile(tracer, *result, fname);
+    }
     return Status::OK();
   }
 

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "ldc/env.h"
+#include "ldc/trace.h"
 #include "util/no_destructor.h"
 
 namespace ldc {
@@ -309,6 +310,9 @@ class PosixEnv : public Env {
     }
 
     *result = new PosixSequentialFile(filename, fd);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedSequentialFile(tracer, *result, filename);
+    }
     return Status::OK();
   }
 
@@ -320,6 +324,9 @@ class PosixEnv : public Env {
       return PosixError(filename, errno);
     }
     *result = new PosixRandomAccessFile(filename, fd);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedRandomAccessFile(tracer, *result, filename);
+    }
     return Status::OK();
   }
 
@@ -333,6 +340,9 @@ class PosixEnv : public Env {
     }
 
     *result = new PosixWritableFile(filename, fd);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedWritableFile(tracer, *result, filename);
+    }
     return Status::OK();
   }
 
@@ -346,6 +356,9 @@ class PosixEnv : public Env {
     }
 
     *result = new PosixWritableFile(filename, fd);
+    if (Tracer* tracer = io_tracer()) {
+      *result = NewTracedWritableFile(tracer, *result, filename);
+    }
     return Status::OK();
   }
 

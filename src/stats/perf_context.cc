@@ -25,6 +25,7 @@ std::string PerfContext::ToString() const {
   append("block_cache_hit_count", block_cache_hit_count);
   append("bloom_filter_checks", bloom_filter_checks);
   append("bloom_filter_useful", bloom_filter_useful);
+  append("bloom_skipped_tables", bloom_skipped_tables);
   append("slice_sources_checked", slice_sources_checked);
   append("get_count", get_count);
   append("seek_count", seek_count);

@@ -1,0 +1,354 @@
+#include "ldc/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "ldc/env.h"
+#include "ldc/slice.h"
+#include "ldc/status.h"
+#include "util/json.h"
+
+namespace ldc {
+
+namespace {
+
+// Everything shares one process pid in the export; the interesting axis is
+// the thread (and the shard label inside each event).
+constexpr int kTracePid = 1;
+
+const char* const kCatNames[static_cast<int>(TraceCat::kCatCount)] = {
+    "write", "get", "stall", "flush", "compaction", "ldc", "shard", "io"};
+
+void CopyLabel(char* dst, size_t dst_size, const char* src) {
+  size_t i = 0;
+  for (; src[i] != '\0' && i + 1 < dst_size; i++) {
+    dst[i] = src[i];
+  }
+  dst[i] = '\0';
+}
+
+const char* Basename(const std::string& fname) {
+  size_t pos = fname.find_last_of('/');
+  return pos == std::string::npos ? fname.c_str() : fname.c_str() + pos + 1;
+}
+
+}  // namespace
+
+const char* TraceCatName(TraceCat cat) {
+  const int i = static_cast<int>(cat);
+  if (i < 0 || i >= static_cast<int>(TraceCat::kCatCount)) return "other";
+  return kCatNames[i];
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity < kShardCount ? kShardCount : capacity),
+      shard_capacity_((capacity_ + kShardCount - 1) / kShardCount),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+uint64_t Tracer::Now() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t Tracer::NewId() {
+  static std::atomic<uint64_t> next_id{1};
+  return next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  Shard& shard = shards_[event.tid % kShardCount];
+  std::lock_guard<std::mutex> l(shard.mu);
+  if (shard.events.size() >= shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (shard.events.capacity() == 0) {
+    shard.events.reserve(shard_capacity_);
+  }
+  shard.events.push_back(event);
+}
+
+void Tracer::Instant(TraceCat cat, const char* name, const char* label,
+                     uint64_t flow_in, uint64_t flow_out) {
+  TraceEvent event;
+  event.ts = Now();
+  event.name = name;
+  event.tid = CurrentThreadId();
+  event.cat = cat;
+  event.phase = 'i';
+  event.flow_in = flow_in;
+  event.flow_out = flow_out;
+  if (label != nullptr) CopyLabel(event.label, sizeof(event.label), label);
+  Emit(event);
+}
+
+void Tracer::Complete(TraceCat cat, const char* name, uint64_t ts,
+                      uint64_t dur, const char* label, const char* a1_name,
+                      uint64_t a1) {
+  TraceEvent event;
+  event.ts = ts;
+  event.dur = dur;
+  event.id = NewId();
+  event.name = name;
+  event.tid = CurrentThreadId();
+  event.cat = cat;
+  event.phase = 'X';
+  event.a1_name = a1_name;
+  event.a1 = a1;
+  if (label != nullptr) CopyLabel(event.label, sizeof(event.label), label);
+  Emit(event);
+}
+
+size_t Tracer::events() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    n += shard.events.size();
+  }
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard.mu);
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  return out;
+}
+
+namespace {
+
+void WriteEventCommon(JsonWriter* w, const TraceEvent& event) {
+  w->KV("cat", TraceCatName(event.cat));
+  w->KV("ts", event.ts);
+  w->KV("pid", static_cast<uint64_t>(kTracePid));
+  w->KV("tid", static_cast<uint64_t>(event.tid));
+}
+
+}  // namespace
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.KV("name", event.name != nullptr ? event.name : "event");
+    w.KV("ph", std::string(1, event.phase));
+    WriteEventCommon(&w, event);
+    if (event.phase == 'X') w.KV("dur", event.dur);
+    if (event.phase == 'i') w.KV("s", "t");  // thread-scoped instant
+    if (event.id != 0) w.KV("id", event.id);
+    w.Key("args");
+    w.BeginObject();
+    if (event.label[0] != '\0') w.KV("label", std::string(event.label));
+    if (event.a1_name != nullptr) w.KV(event.a1_name, event.a1);
+    if (event.a2_name != nullptr) w.KV(event.a2_name, event.a2);
+    if (event.flow_in != 0) w.KV("flow_in", event.flow_in);
+    if (event.flow_out != 0) w.KV("flow_out", event.flow_out);
+    w.EndObject();
+    w.EndObject();
+
+    // Flow links: a flow starts ("s") inside the producer span and
+    // finishes ("f", bp:"e" = bind to enclosing slice) inside the consumer
+    // span. Timestamps are pinned inside the span's interval so the viewer
+    // binds the arrow to the right slice.
+    if (event.flow_out != 0) {
+      w.BeginObject();
+      w.KV("name", "flow");
+      w.KV("ph", "s");
+      w.KV("id", event.flow_out);
+      w.KV("cat", TraceCatName(event.cat));
+      w.KV("ts", event.ts + event.dur);
+      w.KV("pid", static_cast<uint64_t>(kTracePid));
+      w.KV("tid", static_cast<uint64_t>(event.tid));
+      w.EndObject();
+    }
+    if (event.flow_in != 0) {
+      w.BeginObject();
+      w.KV("name", "flow");
+      w.KV("ph", "f");
+      w.KV("bp", "e");
+      w.KV("id", event.flow_in);
+      w.KV("cat", TraceCatName(event.cat));
+      w.KV("ts", event.ts + event.dur);
+      w.KV("pid", static_cast<uint64_t>(kTracePid));
+      w.KV("tid", static_cast<uint64_t>(event.tid));
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Tracer::SummaryJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("events", static_cast<uint64_t>(events()));
+  w.KV("dropped", dropped());
+  w.KV("capacity", static_cast<uint64_t>(capacity_));
+  w.EndObject();
+  return w.str();
+}
+
+void TraceSpan::SetLabel(const std::string& label) {
+  if (tracer_ != nullptr) {
+    CopyLabel(event_.label, sizeof(event_.label), label.c_str());
+  }
+}
+
+void TraceSpan::Begin(Tracer* tracer, TraceCat cat, const char* name) {
+  tracer_ = tracer;
+  event_.ts = tracer->Now();
+  event_.id = Tracer::NewId();
+  event_.name = name;
+  event_.tid = Tracer::CurrentThreadId();
+  event_.cat = cat;
+  event_.phase = 'X';
+}
+
+void TraceSpan::End() {
+  if (tracer_ == nullptr) return;
+  event_.dur = tracer_->Now() - event_.ts;
+  tracer_->Emit(event_);
+  tracer_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Env I/O tracing wrappers. Every wrapper emits one kIo event per call with
+// the byte count (and offset for positional reads) and the call's duration
+// on the tracer clock — so device time and engine time land on one
+// timeline. The label is the file's basename.
+
+namespace {
+
+class TracedSequentialFile : public SequentialFile {
+ public:
+  TracedSequentialFile(Tracer* tracer, SequentialFile* file,
+                       const std::string& fname)
+      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+  ~TracedSequentialFile() override { delete file_; }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const uint64_t start = tracer_->Now();
+    Status s = file_->Read(n, result, scratch);
+    tracer_->Complete(TraceCat::kIo, "io.read", start, tracer_->Now() - start,
+                      name_.c_str(), "bytes", result->size());
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return file_->Skip(n); }
+
+ private:
+  Tracer* const tracer_;
+  SequentialFile* const file_;
+  const std::string name_;
+};
+
+class TracedRandomAccessFile : public RandomAccessFile {
+ public:
+  TracedRandomAccessFile(Tracer* tracer, RandomAccessFile* file,
+                         const std::string& fname)
+      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+  ~TracedRandomAccessFile() override { delete file_; }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    const uint64_t start = tracer_->Now();
+    Status s = file_->Read(offset, n, result, scratch);
+    TraceEvent event;
+    event.ts = start;
+    event.dur = tracer_->Now() - start;
+    event.id = Tracer::NewId();
+    event.name = "io.read";
+    event.tid = Tracer::CurrentThreadId();
+    event.cat = TraceCat::kIo;
+    event.a1_name = "offset";
+    event.a1 = offset;
+    event.a2_name = "bytes";
+    event.a2 = result->size();
+    std::snprintf(event.label, sizeof(event.label), "%s", name_.c_str());
+    tracer_->Emit(event);
+    return s;
+  }
+
+ private:
+  Tracer* const tracer_;
+  RandomAccessFile* const file_;
+  const std::string name_;
+};
+
+class TracedWritableFile : public WritableFile {
+ public:
+  TracedWritableFile(Tracer* tracer, WritableFile* file,
+                     const std::string& fname)
+      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+  ~TracedWritableFile() override { delete file_; }
+
+  Status Append(const Slice& data) override {
+    const uint64_t start = tracer_->Now();
+    Status s = file_->Append(data);
+    tracer_->Complete(TraceCat::kIo, "io.write", start,
+                      tracer_->Now() - start, name_.c_str(), "bytes",
+                      data.size());
+    return s;
+  }
+
+  Status Close() override { return file_->Close(); }
+
+  Status Flush() override { return file_->Flush(); }
+
+  Status Sync() override {
+    const uint64_t start = tracer_->Now();
+    Status s = file_->Sync();
+    tracer_->Complete(TraceCat::kIo, "io.sync", start, tracer_->Now() - start,
+                      name_.c_str());
+    return s;
+  }
+
+ private:
+  Tracer* const tracer_;
+  WritableFile* const file_;
+  const std::string name_;
+};
+
+}  // namespace
+
+SequentialFile* NewTracedSequentialFile(Tracer* tracer, SequentialFile* file,
+                                        const std::string& fname) {
+  return new TracedSequentialFile(tracer, file, fname);
+}
+
+RandomAccessFile* NewTracedRandomAccessFile(Tracer* tracer,
+                                            RandomAccessFile* file,
+                                            const std::string& fname) {
+  return new TracedRandomAccessFile(tracer, file, fname);
+}
+
+WritableFile* NewTracedWritableFile(Tracer* tracer, WritableFile* file,
+                                    const std::string& fname) {
+  return new TracedWritableFile(tracer, file, fname);
+}
+
+}  // namespace ldc

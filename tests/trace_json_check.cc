@@ -1,0 +1,66 @@
+// Standalone validator for the --trace=FILE output of the bench binaries:
+// checks that the file is well-formed Chrome trace-event JSON with a
+// non-empty "traceEvents" array whose entries all carry the fields
+// Perfetto requires (ph/ts/pid/tid). Used by the CI smoke step after a
+// traced bench_fig10_throughput run; exits nonzero with a diagnostic on
+// the first violation.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json_checker.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s TRACE_FILE\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  ldc::testjson::JsonValue doc;
+  if (!ldc::testjson::JsonParser::Parse(text, &doc)) {
+    std::fprintf(stderr, "%s: malformed JSON\n", argv[1]);
+    return 1;
+  }
+  if (!doc.Has("traceEvents")) {
+    std::fprintf(stderr, "%s: missing \"traceEvents\"\n", argv[1]);
+    return 1;
+  }
+  const ldc::testjson::JsonValue& events = doc["traceEvents"];
+  if (events.type != ldc::testjson::JsonValue::kArray) {
+    std::fprintf(stderr, "%s: \"traceEvents\" is not an array\n", argv[1]);
+    return 1;
+  }
+  if (events.array.empty()) {
+    std::fprintf(stderr, "%s: \"traceEvents\" is empty\n", argv[1]);
+    return 1;
+  }
+  size_t index = 0;
+  for (const ldc::testjson::JsonValue& e : events.array) {
+    for (const char* field : {"ph", "ts", "pid", "tid"}) {
+      if (!e.Has(field)) {
+        std::fprintf(stderr, "%s: event %zu missing \"%s\"\n", argv[1], index,
+                     field);
+        return 1;
+      }
+    }
+    if (e["ph"].type != ldc::testjson::JsonValue::kString ||
+        e["ph"].string_value.empty()) {
+      std::fprintf(stderr, "%s: event %zu has a non-string \"ph\"\n", argv[1],
+                   index);
+      return 1;
+    }
+    index++;
+  }
+  std::printf("%s: OK (%zu events)\n", argv[1], events.array.size());
+  return 0;
+}

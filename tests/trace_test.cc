@@ -1,0 +1,447 @@
+// Tests of the end-to-end tracer (include/ldc/trace.h): lossless concurrent
+// emission, ring-capacity drop accounting, disabled-tracer no-ops, Chrome
+// trace-event export validity, and the DB-level causal flow links — a
+// memtable switch flowing into the flush job, a write stall flowing from
+// the background job that cleared it, an LDC merge flowing from the link
+// that enqueued it, and ShardedDB fan-out nesting per-shard spans. The
+// concurrency suites run under TSan in CI.
+
+#include "ldc/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "json_checker.h"
+#include "ldc/db.h"
+#include "ldc/env.h"
+#include "ldc/sharded_db.h"
+#include "workload/key_generator.h"
+
+namespace ldc {
+
+namespace {
+
+// The flow-link tests need real background threads; size the pool before
+// the POSIX Env lazily starts (no effect if the user already set it).
+[[maybe_unused]] const bool kPoolSized = [] {
+  setenv("LDCKV_BACKGROUND_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+// In-memory files + real background threads (same idiom as the
+// concurrency tests): file operations go to a MemEnv, scheduling to the
+// default POSIX Env's pool.
+class ThreadedMemEnv : public EnvWrapper {
+ public:
+  explicit ThreadedMemEnv(Env* mem) : EnvWrapper(mem) {}
+
+  void Schedule(void (*fn)(void*), void* arg) override {
+    Env::Default()->Schedule(fn, arg);
+  }
+  void StartThread(void (*fn)(void*), void* arg) override {
+    Env::Default()->StartThread(fn, arg);
+  }
+  void SleepForMicroseconds(int micros) override {
+    Env::Default()->SleepForMicroseconds(micros);
+  }
+};
+
+// Sleeps on every Append to a table file so flushes and merges are slow
+// relative to foreground writes — small memtables then reliably hit the
+// memtable-limit stall, giving the stall -> unblocking-job flow links
+// something to record.
+class SlowTableFile : public WritableFile {
+ public:
+  SlowTableFile(WritableFile* target, int delay_micros)
+      : target_(target), delay_micros_(delay_micros) {}
+  ~SlowTableFile() override { delete target_; }
+
+  Status Append(const Slice& data) override {
+    Env::Default()->SleepForMicroseconds(delay_micros_);
+    return target_->Append(data);
+  }
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+  Status Sync() override { return target_->Sync(); }
+
+ private:
+  WritableFile* const target_;
+  const int delay_micros_;
+};
+
+class SlowTableEnv : public ThreadedMemEnv {
+ public:
+  SlowTableEnv(Env* mem, int delay_micros)
+      : ThreadedMemEnv(mem), delay_micros_(delay_micros) {}
+
+  Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override {
+    Status s = ThreadedMemEnv::NewWritableFile(fname, result);
+    if (s.ok() && fname.size() > 4 &&
+        fname.compare(fname.size() - 4, 4, ".ldb") == 0) {
+      *result = new SlowTableFile(*result, delay_micros_);
+    }
+    return s;
+  }
+
+ private:
+  const int delay_micros_;
+};
+
+std::vector<TraceEvent> EventsNamed(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+bool NameStartsWith(const TraceEvent& e, const std::string& prefix) {
+  return e.name != nullptr && std::string(e.name).rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+// --- Tracer unit tests ------------------------------------------------------
+
+TEST(TracerTest, SpanRecordsNameArgsAndLabel) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, TraceCat::kLdc, "unit.span");
+    ASSERT_TRUE(span.active());
+    ASSERT_NE(0u, span.id());
+    span.SetLabel("shard-0");
+    span.SetArg1("files", 3);
+    span.SetArg2("bytes", 4096);
+  }
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(1u, events.size());
+  const TraceEvent& e = events[0];
+  EXPECT_STREQ("unit.span", e.name);
+  EXPECT_EQ('X', e.phase);
+  EXPECT_EQ(TraceCat::kLdc, e.cat);
+  EXPECT_STREQ("shard-0", e.label);
+  EXPECT_EQ(3u, e.a1);
+  EXPECT_EQ(4096u, e.a2);
+  EXPECT_EQ(0u, tracer.dropped());
+}
+
+TEST(TracerTest, CapacityDropsAreCountedNotOverwritten) {
+  // Capacity 16 spreads to one slot per shard; a single thread always
+  // lands in its own shard, so the second emit from this thread and every
+  // one after it must be dropped and counted — never overwrite the first.
+  Tracer tracer(16);
+  for (int i = 0; i < 10; i++) {
+    tracer.Instant(TraceCat::kWrite, "unit.instant");
+  }
+  EXPECT_EQ(1u, tracer.events());
+  EXPECT_EQ(9u, tracer.dropped());
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(1u, events.size());
+  EXPECT_STREQ("unit.instant", events[0].name);
+
+  // The drop count is visible in the summary document.
+  testjson::JsonValue summary;
+  ASSERT_TRUE(testjson::JsonParser::Parse(tracer.SummaryJson(), &summary));
+  EXPECT_EQ(1, summary["events"].number);
+  EXPECT_EQ(9, summary["dropped"].number);
+  EXPECT_EQ(16, summary["capacity"].number);
+}
+
+TEST(TracerTest, DisabledSpanIsInert) {
+  TraceSpan defaulted;
+  EXPECT_FALSE(defaulted.active());
+  EXPECT_EQ(0u, defaulted.id());
+  EXPECT_EQ(0u, defaulted.EmitFlowOut());
+  defaulted.SetFlowIn(7);
+  defaulted.SetArg1("a", 1);
+  defaulted.SetLabel("ignored");
+  defaulted.End();  // must not crash or emit
+
+  TraceSpan null_tracer(nullptr, TraceCat::kWrite, "never");
+  EXPECT_FALSE(null_tracer.active());
+  EXPECT_EQ(0u, null_tracer.EmitFlowOut());
+}
+
+TEST(TracerTest, DbWithoutTracerRejectsTraceSummary) {
+  std::unique_ptr<Env> env(NewMemEnv());
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+  ASSERT_TRUE(db->Put(WriteOptions(), "k", "v").ok());
+  std::string value;
+  EXPECT_FALSE(db->GetProperty("ldc.trace-summary", &value));
+}
+
+TEST(TracerTest, ExportChromeTraceIsValidAndLinksFlows) {
+  Tracer tracer;
+  uint64_t flow = 0;
+  {
+    TraceSpan span(&tracer, TraceCat::kFlush, "unit.producer");
+    flow = span.EmitFlowOut();
+    ASSERT_NE(0u, flow);
+  }
+  tracer.Instant(TraceCat::kStall, "unit.consumer", "lbl", /*flow_in=*/flow);
+
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::JsonParser::Parse(tracer.ExportChromeTrace(), &doc));
+  ASSERT_TRUE(doc.Has("traceEvents"));
+  const testjson::JsonValue& events = doc["traceEvents"];
+  ASSERT_EQ(testjson::JsonValue::kArray, events.type);
+  // Producer X + consumer i + the flow-start "s" and flow-finish "f".
+  ASSERT_GE(events.array.size(), 4u);
+
+  bool saw_flow_start = false, saw_flow_finish = false;
+  for (const testjson::JsonValue& e : events.array) {
+    ASSERT_TRUE(e.Has("ph"));
+    ASSERT_TRUE(e.Has("ts"));
+    ASSERT_TRUE(e.Has("pid"));
+    ASSERT_TRUE(e.Has("tid"));
+    const std::string& ph = e["ph"].string_value;
+    if (ph == "X") {
+      EXPECT_TRUE(e.Has("dur"));
+    }
+    if (ph == "s") {
+      saw_flow_start = true;
+      EXPECT_EQ(static_cast<double>(flow), e["id"].number);
+    }
+    if (ph == "f") {
+      saw_flow_finish = true;
+      EXPECT_EQ(static_cast<double>(flow), e["id"].number);
+    }
+  }
+  EXPECT_TRUE(saw_flow_start);
+  EXPECT_TRUE(saw_flow_finish);
+}
+
+// --- Concurrent emission (runs under TSan in CI) ----------------------------
+
+TEST(TraceConcurrencyTest, ConcurrentEmitIsLosslessUpToCapacity) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  Tracer tracer(1 << 15);  // 32768 > 16000: nothing may be dropped
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        TraceEvent event;
+        event.ts = tracer.Now();
+        event.tid = Tracer::CurrentThreadId();
+        event.cat = TraceCat::kWrite;
+        event.phase = 'i';
+        event.name = "concurrent.evt";
+        event.a1 = static_cast<uint64_t>(t) * kPerThread + i;
+        event.a2 = event.a1 ^ 0x5a5a5a5aull;  // torn-write detector
+        tracer.Emit(event);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(static_cast<size_t>(kThreads * kPerThread), tracer.events());
+  EXPECT_EQ(0u, tracer.dropped());
+
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(static_cast<size_t>(kThreads * kPerThread), events.size());
+  std::set<uint64_t> payloads;
+  uint64_t last_ts = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_STREQ("concurrent.evt", e.name);
+    EXPECT_EQ(e.a1 ^ 0x5a5a5a5aull, e.a2) << "torn event payload";
+    payloads.insert(e.a1);
+    EXPECT_GE(e.ts, last_ts);  // Snapshot sorts by timestamp
+    last_ts = e.ts;
+  }
+  // Every payload from every thread arrived exactly once.
+  EXPECT_EQ(static_cast<size_t>(kThreads * kPerThread), payloads.size());
+  EXPECT_EQ(0u, *payloads.begin());
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread - 1),
+            *payloads.rbegin());
+}
+
+// --- DB-level flow links ----------------------------------------------------
+
+class DBTraceFlowTest : public testing::Test {
+ protected:
+  DBTraceFlowTest()
+      : mem_env_(NewMemEnv()),
+        env_(new SlowTableEnv(mem_env_.get(), /*delay_micros=*/2000)) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = CompactionStyle::kLdc;
+    options_.tracer = &tracer_;
+    // Small buffers + slow table writes: the memtable refills before the
+    // flush finishes, forcing memtable-limit stalls, and the tree gets
+    // deep enough to exercise LDC links and merges.
+    options_.write_buffer_size = 16 * 1024;
+    options_.max_file_size = 16 * 1024;
+    options_.level1_max_bytes = 64 * 1024;
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  ~DBTraceFlowTest() override { db_.reset(); }
+
+  Tracer tracer_{1 << 18};
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTraceFlowTest, CausalFlowLinksAcrossTheWritePath) {
+  constexpr int kKeys = 3000;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i),
+                         "v" + std::to_string(i) + std::string(100, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  const std::vector<TraceEvent> events = tracer_.Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // (1) Every memtable switch hands its flow id to exactly the flush job
+  // it scheduled; at least one such link must have been recorded.
+  std::set<uint64_t> switch_flows;
+  for (const TraceEvent& e : EventsNamed(events, "memtable.switch")) {
+    ASSERT_NE(0u, e.flow_out);
+    switch_flows.insert(e.flow_out);
+  }
+  ASSERT_FALSE(switch_flows.empty()) << "no memtable switches traced";
+  size_t linked_flushes = 0;
+  for (const TraceEvent& e : EventsNamed(events, "job.flush")) {
+    if (e.flow_in != 0) {
+      EXPECT_EQ(1u, switch_flows.count(e.flow_in))
+          << "flush linked to an unknown switch";
+      linked_flushes++;
+    }
+  }
+  EXPECT_GT(linked_flushes, 0u);
+
+  // (2) A stalled write flow-links to the background job that unblocked
+  // it: every nonzero stall flow_in must be the flow_out of some job span.
+  std::set<uint64_t> job_flows;
+  for (const TraceEvent& e : events) {
+    if (NameStartsWith(e, "job.") && e.flow_out != 0) {
+      job_flows.insert(e.flow_out);
+    }
+  }
+  size_t linked_stalls = 0;
+  for (const TraceEvent& e : events) {
+    if (!NameStartsWith(e, "stall.")) continue;
+    if (e.flow_in == 0) continue;  // stalled before any job completed
+    EXPECT_EQ(1u, job_flows.count(e.flow_in))
+        << e.name << " linked to an unknown job";
+    linked_stalls++;
+  }
+  EXPECT_GT(linked_stalls, 0u)
+      << "no write stall was linked to its unblocking job";
+
+  // (3) Every LDC merge flow-links back to the enqueue instant that
+  // scheduled it.
+  std::set<uint64_t> enqueue_flows;
+  for (const TraceEvent& e : EventsNamed(events, "ldc.enqueue_merge")) {
+    ASSERT_NE(0u, e.flow_out);
+    enqueue_flows.insert(e.flow_out);
+  }
+  const std::vector<TraceEvent> merges = EventsNamed(events, "job.ldc_merge");
+  ASSERT_FALSE(merges.empty()) << "workload produced no LDC merges";
+  size_t linked_merges = 0;
+  for (const TraceEvent& e : merges) {
+    if (e.flow_in != 0) {
+      EXPECT_EQ(1u, enqueue_flows.count(e.flow_in))
+          << "merge linked to an unknown enqueue";
+      linked_merges++;
+    }
+  }
+  EXPECT_GT(linked_merges, 0u);
+
+  // The property surfaces the same buffer.
+  std::string summary;
+  ASSERT_TRUE(db_->GetProperty("ldc.trace-summary", &summary));
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::JsonParser::Parse(summary, &doc));
+  EXPECT_GE(doc["events"].number, 1.0);
+}
+
+// --- ShardedDB fan-out ------------------------------------------------------
+
+TEST(ShardedTraceTest, ShardOpsNestPerShardChildSpans) {
+  Tracer tracer(1 << 18);
+  std::unique_ptr<Env> mem_env(NewMemEnv());
+  std::unique_ptr<Env> env(new ThreadedMemEnv(mem_env.get()));
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = true;
+  options.num_shards = 2;
+  options.tracer = &tracer;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/db", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  constexpr int kKeys = 200;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), MakeKey(i), "v").ok());
+  }
+  std::string value;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Get(ReadOptions(), MakeKey(i), &value).ok());
+  }
+  ASSERT_TRUE(db->WaitForIdle().ok());
+
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  const std::vector<TraceEvent> puts = EventsNamed(events, "sharded.put");
+  const std::vector<TraceEvent> gets = EventsNamed(events, "sharded.get");
+  ASSERT_EQ(static_cast<size_t>(kKeys), puts.size());
+  ASSERT_EQ(static_cast<size_t>(kKeys), gets.size());
+
+  // Both shards were exercised (the router spreads MakeKey ids).
+  std::set<uint64_t> put_shards;
+  for (const TraceEvent& e : puts) put_shards.insert(e.a1);
+  EXPECT_EQ(2u, put_shards.size());
+
+  // Each per-shard DBImpl span nests inside a sharded fan-out span on the
+  // same thread — the parent opens before and closes after the child.
+  auto nests_inside = [](const TraceEvent& child,
+                         const std::vector<TraceEvent>& parents) {
+    for (const TraceEvent& p : parents) {
+      if (p.tid == child.tid && p.ts <= child.ts &&
+          p.ts + p.dur >= child.ts + child.dur) {
+        return true;
+      }
+    }
+    return false;
+  };
+  size_t nested_writes = 0, nested_gets = 0;
+  for (const TraceEvent& e : EventsNamed(events, "db.write")) {
+    if (nests_inside(e, puts)) nested_writes++;
+  }
+  for (const TraceEvent& e : EventsNamed(events, "db.get")) {
+    if (nests_inside(e, gets)) nested_gets++;
+  }
+  EXPECT_EQ(static_cast<size_t>(kKeys), nested_writes);
+  EXPECT_EQ(static_cast<size_t>(kKeys), nested_gets);
+
+  // The shared-state property is answered once for the whole sharded DB.
+  std::string summary;
+  ASSERT_TRUE(db->GetProperty("ldc.trace-summary", &summary));
+  testjson::JsonValue doc;
+  ASSERT_TRUE(testjson::JsonParser::Parse(summary, &doc));
+  EXPECT_GE(doc["events"].number, 1.0);
+}
+
+}  // namespace ldc
