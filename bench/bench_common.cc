@@ -104,6 +104,13 @@ class ThreadedMemEnv : public EnvWrapper {
     return s;
   }
 
+  // Hinted creations must get the same delay + trace wrapping. Wall-clock
+  // mode has no channel placement, so the hint itself is dropped.
+  Status NewWritableFile(const std::string& f, WriteHint /*hint*/,
+                         WritableFile** r) override {
+    return NewWritableFile(f, r);
+  }
+
   Status NewSequentialFile(const std::string& f,
                            SequentialFile** r) override {
     Status s = EnvWrapper::NewSequentialFile(f, r);
@@ -270,6 +277,12 @@ BenchDb::BenchDb(const BenchParams& params)
   // Wall-clock (multi-threaded or sharded) runs drop the simulator: the
   // virtual device timeline is single-threaded by construction.
   options.sim = wall_clock ? nullptr : sim_.get();
+  if (!wall_clock) {
+    // Sim runs publish per-channel tickers/gauges into the bench stats and
+    // let the Env stamp each traced file op with its device channel.
+    sim_->SetStatistics(stats_.get());
+    options.env->SetIoSim(sim_.get());
+  }
 
   DB* raw = nullptr;
   Status s = DB::Open(options, "/benchdb", &raw);
@@ -419,6 +432,11 @@ void ExportBenchJson(const std::string& tag, BenchDb& bench) {
   if (bench.db()->GetProperty("ldc.block-cache-usage", &prop)) {
     w.KV("block_cache_usage", static_cast<uint64_t>(
                                   strtoull(prop.c_str(), nullptr, 10)));
+  }
+  // Per-channel device accounting (sim runs only; "ldc.channels" is JSON).
+  if (bench.db()->GetProperty("ldc.channels", &prop)) {
+    w.Key("channels");
+    w.Raw(prop);
   }
   std::string stats_json;
   if (bench.db()->GetProperty("ldc.stats-json", &stats_json)) {

@@ -1,0 +1,181 @@
+// I/O-stream isolation on a multi-channel SSD: one LDC tree, the same
+// half-write half-read workload, three device placement policies.
+//
+//   baseline — 1 channel, no placement (the historical single-FIFO device)
+//   striped  — 4 channels, every op striped across all of them (RAID-0)
+//   isolated — 4 channels, WAL / flush / compaction / read streams pinned
+//              to dedicated channels
+//
+// Striping gives every transfer 4-way parallelism but lets every background
+// job inflate every foreground I/O; isolation gives up the transfer speedup
+// on the read path in exchange for reads that never queue behind compaction.
+// The interesting figure is the read tail: isolated p99 should beat striped
+// p99 while throughput stays at least as good. The per-channel byte counters
+// prove the separation (under isolation the WAL/flush/compaction/read bytes
+// land on disjoint channels).
+//
+// Writes BENCH_isolation.json: one "policies" array with per-policy latency
+// percentiles, throughput, and the per-channel ledger.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/histogram.h"
+#include "util/json.h"
+
+using namespace ldc;
+using namespace ldc::bench;
+
+namespace {
+
+struct PolicyResult {
+  std::string name;
+  int channels = 1;
+  double throughput = 0;
+  double read_p50 = 0, read_p95 = 0, read_p99 = 0, read_p999 = 0;
+  double write_p99 = 0;
+  uint64_t read_ops = 0;
+  // Per-channel ledger, proving stream separation.
+  std::vector<uint64_t> ch_read_bytes, ch_write_bytes, ch_busy_us;
+};
+
+PolicyResult RunPolicy(const char* name, int channels,
+                       PlacementPolicy placement) {
+  BenchParams params = DefaultBenchParams();
+  params.style = CompactionStyle::kLdc;
+  params.ssd.num_channels = channels;
+  params.ssd.placement = placement;
+  // A cache big enough for the dataset would keep reads off the device and
+  // make placement irrelevant; shrink it so most lookups miss and the read
+  // stream genuinely competes with background work for channels.
+  params.block_cache_size = 64 * 1024;
+  BenchDb bench(params);
+  WorkloadResult result = bench.RunWorkload(MakeSpec(params, "RWB"));
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed (%s): %s\n", name,
+                 result.status.ToString().c_str());
+    std::exit(1);
+  }
+
+  PolicyResult out;
+  out.name = name;
+  out.channels = bench.sim()->num_channels();
+  out.throughput = result.throughput_ops_per_sec;
+  const Histogram& reads =
+      bench.stats()->GetHistogram(OpHistogram::kReadLatencyUs);
+  const Histogram& writes =
+      bench.stats()->GetHistogram(OpHistogram::kWriteLatencyUs);
+  out.read_ops = reads.Count();
+  out.read_p50 = reads.Percentile(50.0);
+  out.read_p95 = reads.Percentile(95.0);
+  out.read_p99 = reads.Percentile(99.0);
+  out.read_p999 = reads.Percentile(99.9);
+  out.write_p99 = writes.Percentile(99.0);
+  for (int k = 0; k < out.channels; k++) {
+    out.ch_read_bytes.push_back(bench.sim()->ChannelBytesRead(k));
+    out.ch_write_bytes.push_back(bench.sim()->ChannelBytesWritten(k));
+    out.ch_busy_us.push_back(bench.sim()->ChannelBusyMicros(k));
+  }
+  return out;
+}
+
+void ExportIsolationJson(const std::vector<PolicyResult>& results) {
+  const char* dir = std::getenv("LDCKV_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  path += "/BENCH_isolation.json";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "isolation");
+  w.Key("policies");
+  w.BeginArray();
+  for (const PolicyResult& r : results) {
+    w.BeginObject();
+    w.KV("policy", r.name);
+    w.KV("channels", r.channels);
+    w.KV("throughput_ops_per_sec", r.throughput);
+    w.KV("read_ops", r.read_ops);
+    w.KV("read_p50_us", r.read_p50);
+    w.KV("read_p95_us", r.read_p95);
+    w.KV("read_p99_us", r.read_p99);
+    w.KV("read_p999_us", r.read_p999);
+    w.KV("write_p99_us", r.write_p99);
+    w.Key("per_channel");
+    w.BeginArray();
+    for (int k = 0; k < r.channels; k++) {
+      w.BeginObject();
+      w.KV("channel", k);
+      w.KV("read_bytes", r.ch_read_bytes[k]);
+      w.KV("write_bytes", r.ch_write_bytes[k]);
+      w.KV("busy_us", r.ch_busy_us[k]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchFlags(argc, argv);
+  BenchParams params = DefaultBenchParams();
+  PrintBenchHeader("Isolation",
+                   "multi-channel placement: baseline vs striped vs isolated",
+                   params);
+
+  std::vector<PolicyResult> results;
+  results.push_back(RunPolicy("baseline", 1, PlacementPolicy::kNone));
+  results.push_back(RunPolicy("striped", 4, PlacementPolicy::kStriped));
+  results.push_back(RunPolicy("isolated", 4, PlacementPolicy::kIsolated));
+  ExportIsolationJson(results);
+
+  std::printf("\n%-10s %3s %12s %10s %10s %10s %10s\n", "policy", "ch",
+              "ops/sec", "readP50", "readP95", "readP99", "readP99.9");
+  PrintSectionRule();
+  for (const PolicyResult& r : results) {
+    std::printf("%-10s %3d %12.0f %10.2f %10.2f %10.2f %10.2f\n",
+                r.name.c_str(), r.channels, r.throughput, r.read_p50,
+                r.read_p95, r.read_p99, r.read_p999);
+  }
+
+  std::printf("\nper-channel bytes (read/write):\n");
+  for (const PolicyResult& r : results) {
+    std::printf("  %-10s", r.name.c_str());
+    for (int k = 0; k < r.channels; k++) {
+      std::printf("  ch%d %s/%s", k, HumanBytes(r.ch_read_bytes[k]).c_str(),
+                  HumanBytes(r.ch_write_bytes[k]).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const PolicyResult& striped = results[1];
+  const PolicyResult& isolated = results[2];
+  std::printf("\nisolated vs striped: read p99 %.2f -> %.2f us (%.2fx), "
+              "throughput %.0f -> %.0f ops/sec\n",
+              striped.read_p99, isolated.read_p99,
+              isolated.read_p99 > 0 ? striped.read_p99 / isolated.read_p99
+                                    : 0.0,
+              striped.throughput, isolated.throughput);
+  PrintPaperNote(
+      "stream isolation on multi-channel SSDs keeps foreground reads off "
+      "the channels compaction is hammering, trading peak transfer "
+      "parallelism for a flat read tail (cf. the paper's SSD-internal "
+      "parallelism discussion, section II).");
+  return 0;
+}

@@ -22,8 +22,24 @@ namespace ldc {
 class FileLock;
 class RandomAccessFile;
 class SequentialFile;
+class SimContext;
 class Tracer;
 class WritableFile;
+
+// Why a new file is being written. The DB stamps every NewWritableFile call
+// with the LSM stream the file belongs to, so storage layers can steer the
+// streams apart: the multi-channel simulator pins hints to channels
+// (PlacementPolicy::kIsolated, ldc/sim.h) and PosixEnv forwards them to the
+// kernel as best-effort posix_fadvise access patterns. Envs that don't care
+// inherit a default that ignores the hint.
+enum class WriteHint : int {
+  kMisc = 0,     // manifest, CURRENT, LOG, lock files, ...
+  kWal,          // write-ahead-log appends (group-commit path)
+  kFlush,        // level-0 tables built from a memtable flush
+  kCompaction,   // tables written by compaction / LDC merge jobs
+};
+
+const char* WriteHintName(WriteHint hint);
 
 class Env {
  public:
@@ -65,6 +81,17 @@ class Env {
   // returns non-OK.
   virtual Status NewWritableFile(const std::string& fname,
                                  WritableFile** result) = 0;
+
+  // Hinted variant: identical contract, plus the I/O stream the file
+  // belongs to (see WriteHint). The DB uses this overload for every file
+  // it creates. The default implementation drops the hint and calls the
+  // two-argument virtual above, so existing Envs (and wrappers that
+  // intercept only that overload, e.g. fault-injection test Envs) keep
+  // working; hint-aware Envs (PosixEnv, the in-memory Env) override it.
+  // An EnvWrapper forwards the hint to its target — a wrapper that
+  // intercepts file creation should override both overloads.
+  virtual Status NewWritableFile(const std::string& fname, WriteHint hint,
+                                 WritableFile** result);
 
   // Create an object that either appends to an existing file, or
   // writes to a new file (if the file does not exist to begin with).
@@ -148,8 +175,20 @@ class Env {
     return io_tracer_.load(std::memory_order_acquire);
   }
 
+  // The SSD simulator owning this Env's device timeline, if any. Installed
+  // by the bench harness next to the tracer so traced I/O spans can carry
+  // the channel the placement policy assigns to each file's stream.
+  // Per-instance and non-virtual, exactly like SetIoTracer.
+  void SetIoSim(SimContext* sim) {
+    io_sim_.store(sim, std::memory_order_release);
+  }
+  SimContext* io_sim() const {
+    return io_sim_.load(std::memory_order_acquire);
+  }
+
  private:
   std::atomic<Tracer*> io_tracer_{nullptr};
+  std::atomic<SimContext*> io_sim_{nullptr};
 };
 
 // An implementation of Env that forwards all calls to another Env. May be
@@ -174,6 +213,10 @@ class EnvWrapper : public Env {
   }
   Status NewWritableFile(const std::string& f, WritableFile** r) override {
     return target_->NewWritableFile(f, r);
+  }
+  Status NewWritableFile(const std::string& f, WriteHint hint,
+                         WritableFile** r) override {
+    return target_->NewWritableFile(f, hint, r);
   }
   Status NewAppendableFile(const std::string& f, WritableFile** r) override {
     return target_->NewAppendableFile(f, r);

@@ -6,16 +6,36 @@
 //
 //  * Foreground I/O (WAL appends, data-block reads) advances the virtual
 //    clock by the model cost of the transfer, inflated by a contention
-//    factor while a background job occupies the device.
+//    factor while a background job occupies the channel it lands on.
 //  * Background jobs (memtable flushes, UDC compactions, LDC merges) are
-//    scheduled on a FIFO device timeline; their version edits are applied
+//    scheduled on a device timeline; their version edits are applied
 //    when the clock passes their completion time — or immediately when a
 //    foreground write must stall on them (immutable-memtable wait, level-0
 //    slowdown/stop), which is exactly where LSM tail latency comes from.
 //
+// The device is modeled as K parallel channels (SsdModel::num_channels),
+// each an independent flash unit with the model's bandwidth and its own
+// busy timeline and byte/wear counters. Where an I/O stream lands is decided
+// by the PlacementPolicy:
+//
+//  * kNone     — single-timeline baseline: everything shares channel 0.
+//                With num_channels == 1 this reproduces the historical
+//                single-FIFO simulator bit for bit.
+//  * kStriped  — RAID-0: every op and every file is striped across all K
+//                channels (each channel transfers bytes/K). Transfers get
+//                K-way parallelism, but every stream touches every channel,
+//                so any background job inflates every foreground I/O.
+//  * kIsolated — I/O-stream isolation: the WAL, flush, compaction, and
+//                foreground-read streams are pinned to dedicated channels
+//                (WAL -> 0, flush -> 1, compaction -> 2..K-2 round-robin
+//                per job, reads -> K-1, clamped for small K). Sealed
+//                SSTables are owned by the read channel, so foreground
+//                reads only contend with other reads, and jobs on distinct
+//                channels overlap in virtual time.
+//
 // Throughput, latency percentiles, stall time, and the busy-time breakdown
 // of Table I are all measured in this virtual time; I/O volumes and wear
-// are exact byte counters.
+// are exact byte counters, totaled per channel.
 //
 // A SimContext is single-threaded by design: the DB that owns it runs its
 // client operations and compaction work on one thread, which is what makes
@@ -30,11 +50,26 @@
 
 namespace ldc {
 
+class Statistics;
+
+// How LSM I/O streams map onto the device's channels (see file comment).
+enum class PlacementPolicy : int {
+  kNone = 0,  // hint-free baseline: everything on channel 0
+  kStriped,   // every op striped across all channels
+  kIsolated,  // WAL / flush / compaction / read streams pinned per channel
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
 // Timing and endurance model of a flash SSD. Defaults approximate an
 // enterprise PCIe drive of the paper's era: reads are several times
 // faster than writes ("unbalanced read/write performance", §I).
 struct SsdModel {
-  // Sequential/streaming bandwidths.
+  // Upper bound on num_channels (keep in sync with the per-channel
+  // Statistics tickers/gauges, statistics.h).
+  static constexpr int kMaxChannels = 8;
+
+  // Sequential/streaming bandwidths of one channel.
   double read_bandwidth_mbps = 2800.0;
   double write_bandwidth_mbps = 600.0;
 
@@ -47,8 +82,16 @@ struct SsdModel {
   double buffered_append_latency_us = 0.5;
 
   // Multiplier applied to foreground I/O cost while a background job
-  // occupies the device (they share channels and the FTL).
+  // occupies the channel(s) the I/O lands on (they share the flash unit
+  // and the FTL).
   double contention_factor = 2.0;
+
+  // Number of parallel channels (flash units). Clamped to
+  // [1, kMaxChannels]. Each channel has the bandwidths above; the device
+  // aggregate scales with the channel count.
+  int num_channels = 1;
+  // How streams are placed onto channels. Irrelevant when num_channels == 1.
+  PlacementPolicy placement = PlacementPolicy::kNone;
 
   // Flash geometry, used for wear/endurance accounting only.
   uint64_t page_bytes = 4096;
@@ -59,7 +102,7 @@ struct SsdModel {
   // estimated average P/E cycles consumed.
   uint64_t capacity_bytes = 8ull << 30;
 
-  // Cost in microseconds of reading / writing `bytes` bytes.
+  // Cost in microseconds of reading / writing `bytes` bytes on one channel.
   double ReadCostMicros(uint64_t bytes) const {
     return read_latency_us + bytes / read_bandwidth_mbps;  // 1 MB/s == 1 B/us
   }
@@ -68,7 +111,9 @@ struct SsdModel {
   }
 };
 
-// Activity classes for the busy-time ledger (reproduces Table I).
+// Activity classes for the busy-time ledger (reproduces Table I). The
+// background classes double as the I/O stream identifiers the placement
+// policy pins to channels.
 enum class SimActivity : int {
   kCompaction = 0,  // UDC compaction + LDC merge work
   kFlush,           // memtable flush I/O
@@ -82,6 +127,9 @@ const char* SimActivityName(SimActivity activity);
 
 class SimContext {
  public:
+  // Channel id meaning "striped across every channel".
+  static constexpr int kAllChannels = -1;
+
   explicit SimContext(const SsdModel& model);
   ~SimContext();
 
@@ -89,6 +137,12 @@ class SimContext {
   SimContext& operator=(const SimContext&) = delete;
 
   const SsdModel& model() const { return model_; }
+  int num_channels() const;
+
+  // Optional sink for the per-channel tickers ("io.channel.<k>.*") and
+  // busy/queued gauges. The sim publishes into it on every state change;
+  // pass nullptr to detach. Single-threaded like the rest of the sim.
+  void SetStatistics(Statistics* stats);
 
   // --- Virtual clock -------------------------------------------------------
 
@@ -97,10 +151,31 @@ class SimContext {
   // Advances the clock by `micros`, attributing the time to `activity`.
   void AdvanceMicros(double micros, SimActivity activity);
 
+  // --- Channel placement ---------------------------------------------------
+
+  // Channel that writes of the given stream land on under the configured
+  // policy (kAllChannels under kStriped). For kCompaction this returns the
+  // rotation's current channel; the rotation advances once per scheduled
+  // compaction job, not per query.
+  int WriteChannelForStream(SimActivity stream) const;
+  // Channel serving foreground reads (kAllChannels under kStriped).
+  int ReadChannel() const;
+  // Channel owning a sealed table file: reads of it are charged there.
+  // Under kIsolated sealed SSTables are owned by the read channel; under
+  // kStriped a file spans every channel. (The file number parameter keeps
+  // room for finer per-file placement policies.)
+  int ChannelOfFile(uint64_t file_number) const;
+  // True when the two streams write to distinct dedicated channels, i.e.
+  // jobs of the two classes can genuinely overlap on the device.
+  bool StreamsIsolated(SimActivity a, SimActivity b) const;
+
   // --- Foreground I/O charging --------------------------------------------
   // No-ops while inside a background scope (the job's scheduled duration
   // already accounts for its I/O).
 
+  // Charges a read against the channel owning `file_number`.
+  void ChargeForegroundRead(uint64_t bytes, uint64_t file_number);
+  // Legacy overload: charges against the policy's read channel.
   void ChargeForegroundRead(uint64_t bytes);
   void ChargeForegroundWrite(uint64_t bytes, SimActivity activity);
   // Buffered append (used for non-sync WAL writes): bandwidth cost only
@@ -110,18 +185,23 @@ class SimContext {
   // --- Background jobs ------------------------------------------------------
 
   // Schedules a background job that will read `read_bytes` and write
-  // `write_bytes`. `apply` runs when the job completes (it performs the
-  // actual data movement and version installation). Returns the job's
-  // completion time in virtual microseconds.
+  // `write_bytes` on the channel its activity stream is pinned to. The job
+  // queues FIFO behind earlier work on the same channel and runs in
+  // parallel with jobs on other channels. `apply` runs when the job
+  // completes (it performs the actual data movement and version
+  // installation). Returns the job's completion time in virtual
+  // microseconds.
   uint64_t ScheduleBackground(uint64_t read_bytes, uint64_t write_bytes,
                               SimActivity activity,
                               std::function<void()> apply);
 
-  // Applies every job whose completion time is <= NowMicros().
+  // Applies every job whose completion time is <= NowMicros(), in
+  // completion order.
   void Pump();
 
-  // Advances the clock to the next job completion and applies it.
-  // Returns false if no background job is pending.
+  // Advances the clock to the earliest pending job completion (across all
+  // channels) and applies that job. Returns false if no background job is
+  // pending.
   bool WaitForNextBackgroundJob();
 
   // Advances the clock past every pending background job. Called by
@@ -130,7 +210,7 @@ class SimContext {
   void Drain();
 
   bool HasPendingBackgroundJobs() const;
-  // Virtual time at which the device becomes idle (>= NowMicros() when busy).
+  // Virtual time at which every channel is idle (>= NowMicros() when busy).
   uint64_t DeviceBusyUntil() const;
 
   // Background scope: while set, ChargeForeground* and per-op CPU charges
@@ -156,6 +236,15 @@ class SimContext {
   // endurance estimate.
   uint64_t TotalBytesWritten() const { return total_bytes_written_; }
   uint64_t TotalBytesRead() const { return total_bytes_read_; }
+
+  // Per-channel counters (k in [0, num_channels())).
+  uint64_t ChannelBytesRead(int k) const;
+  uint64_t ChannelBytesWritten(int k) const;
+  uint64_t ChannelBusyMicros(int k) const;
+  // Background jobs currently scheduled on (or striped over) channel k.
+  int ChannelQueuedJobs(int k) const;
+  bool ChannelBusy(int k) const;
+
   // Average P/E cycles consumed so far = written / capacity.
   double EstimatedPeCyclesConsumed() const;
   // Fraction of rated endurance used, in [0, ...).
@@ -168,11 +257,16 @@ class SimContext {
 
   struct Job;
 
-  // Push pending background completions later by `cost_us` when foreground
-  // I/O competes for the device.
-  void OccupyDevice(double cost_us);
+  // Charges one foreground transfer of `cost_us` (pre-contention) and
+  // `bytes` against `channel` (kAllChannels = striped over every channel),
+  // inflating by the contention factor when the target channel is busy and
+  // pushing queued completions on that channel later.
+  void ChargeForegroundOp(double cost_us, uint64_t bytes, bool is_read,
+                          int channel, SimActivity activity);
 
   void ApplyJob(Job* job);
+  // Re-publishes the per-channel busy gauges into stats_ (if attached).
+  void PublishBusyGauges();
 
   const SsdModel model_;
   uint64_t now_us_;

@@ -19,6 +19,10 @@ namespace ldc {
 
 class Histogram;
 
+// Number of per-channel I/O ticker/gauge slots. Keep in sync with
+// SsdModel::kMaxChannels (ldc/sim.h); sim_context.cc static_asserts it.
+constexpr int kMaxIoChannels = 8;
+
 enum Ticker : uint32_t {
   // I/O volume.
   kCompactionReadBytes = 0,   // bytes read by compaction merges (UDC + LDC)
@@ -58,11 +62,27 @@ enum Ticker : uint32_t {
   kBgJobsScheduled,           // background calls handed to Env::Schedule
   kBgWorkUnits,               // work units (flush/compaction/merge) executed
 
-  kTickerCount
+  // Per-channel I/O volume of the multi-channel SSD simulator
+  // ("io.channel.<k>.read.bytes" / "io.channel.<k>.write.bytes").
+  // Recorded by SimContext when a Statistics sink is attached via
+  // SimContext::SetStatistics; use ChannelReadBytesTicker(k) /
+  // ChannelWriteBytesTicker(k) to address a slot.
+  kIoChannelReadBytesBase,
+  kIoChannelWriteBytesBase = kIoChannelReadBytesBase + kMaxIoChannels,
+
+  kTickerCount = kIoChannelWriteBytesBase + kMaxIoChannels
 };
 
 // Returns the programmatic name of a ticker, e.g. "compaction.read.bytes".
 const char* TickerName(Ticker ticker);
+
+// Per-channel ticker slots (channel in [0, kMaxIoChannels)).
+inline Ticker ChannelReadBytesTicker(int channel) {
+  return static_cast<Ticker>(kIoChannelReadBytesBase + channel);
+}
+inline Ticker ChannelWriteBytesTicker(int channel) {
+  return static_cast<Ticker>(kIoChannelWriteBytesBase + channel);
+}
 
 // Point-in-time gauges: unlike tickers these go up and down, tracking the
 // current value of a quantity (e.g. how many background jobs are executing
@@ -73,11 +93,27 @@ const char* TickerName(Ticker ticker);
 enum Gauge : uint32_t {
   kBgJobsRunning = 0,   // background work units currently executing
   kLdcMergesRunning,    // LDC merges currently executing
-  kGaugeCount
+
+  // Per-channel device state of the multi-channel SSD simulator
+  // ("io.channel.<k>.queued" — background jobs scheduled on the channel —
+  // and "io.channel.<k>.busy" — 1 while the channel timeline extends past
+  // the virtual clock). Maintained by SimContext::SetStatistics.
+  kIoChannelQueuedBase,
+  kIoChannelBusyBase = kIoChannelQueuedBase + kMaxIoChannels,
+
+  kGaugeCount = kIoChannelBusyBase + kMaxIoChannels
 };
 
 // Returns the programmatic name of a gauge, e.g. "bg.jobs.running".
 const char* GaugeName(Gauge gauge);
+
+// Per-channel gauge slots (channel in [0, kMaxIoChannels)).
+inline Gauge ChannelQueuedGauge(int channel) {
+  return static_cast<Gauge>(kIoChannelQueuedBase + channel);
+}
+inline Gauge ChannelBusyGauge(int channel) {
+  return static_cast<Gauge>(kIoChannelBusyBase + channel);
+}
 
 enum class OpHistogram : uint32_t {
   kWriteLatencyUs = 0,

@@ -53,6 +53,9 @@ struct TraceEvent {
                           // caused by the event that emitted the same id
   uint64_t flow_out = 0;  // outgoing flow id (0 = none)
   uint64_t a1 = 0, a2 = 0;
+  // Device channel of io.* events under the multi-channel simulator
+  // (-1 = unknown/not applicable; exported as a "channel" arg when >= 0).
+  int32_t channel = -1;
   const char* name = nullptr;
   const char* a1_name = nullptr;
   const char* a2_name = nullptr;
@@ -90,7 +93,7 @@ class Tracer {
                uint64_t flow_in = 0, uint64_t flow_out = 0);
   void Complete(TraceCat cat, const char* name, uint64_t ts, uint64_t dur,
                 const char* label = nullptr, const char* a1_name = nullptr,
-                uint64_t a1 = 0);
+                uint64_t a1 = 0, int channel = -1);
 
   size_t capacity() const { return capacity_; }
   size_t events() const;
@@ -184,14 +187,19 @@ class TraceSpan {
 // emits a kIo event with offset/length/duration. Each wrapper takes
 // ownership of `file` and keeps only the basename of `fname` as the event
 // label. Used by PosixEnv, the in-memory Env, and the bench Env whenever
-// `Env::SetIoTracer` has installed a tracer.
+// `Env::SetIoTracer` has installed a tracer. `channel` stamps the device
+// channel the simulator's placement policy assigned to the file's stream
+// onto every event (pass -1 when unknown — no arg is emitted).
 SequentialFile* NewTracedSequentialFile(Tracer* tracer, SequentialFile* file,
-                                        const std::string& fname);
+                                        const std::string& fname,
+                                        int channel = -1);
 RandomAccessFile* NewTracedRandomAccessFile(Tracer* tracer,
                                             RandomAccessFile* file,
-                                            const std::string& fname);
+                                            const std::string& fname,
+                                            int channel = -1);
 WritableFile* NewTracedWritableFile(Tracer* tracer, WritableFile* file,
-                                    const std::string& fname);
+                                    const std::string& fname,
+                                    int channel = -1);
 
 }  // namespace ldc
 

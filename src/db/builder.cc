@@ -13,7 +13,8 @@
 namespace ldc {
 
 Status BuildTable(const std::string& dbname, Env* env, const Options& options,
-                  TableCache* table_cache, Iterator* iter, FileMetaData* meta) {
+                  TableCache* table_cache, Iterator* iter, FileMetaData* meta,
+                  WriteHint hint) {
   Status s;
   meta->file_size = 0;
   iter->SeekToFirst();
@@ -23,7 +24,7 @@ Status BuildTable(const std::string& dbname, Env* env, const Options& options,
   span.SetArg1("file", meta->number);
   if (iter->Valid()) {
     WritableFile* file;
-    s = env->NewWritableFile(fname, &file);
+    s = env->NewWritableFile(fname, hint, &file);
     if (!s.ok()) {
       return s;
     }

@@ -1,6 +1,7 @@
 #ifndef LDC_DB_BUILDER_H_
 #define LDC_DB_BUILDER_H_
 
+#include "ldc/env.h"
 #include "ldc/status.h"
 
 namespace ldc {
@@ -8,7 +9,6 @@ namespace ldc {
 struct Options;
 struct FileMetaData;
 
-class Env;
 class Iterator;
 class TableCache;
 class VersionEdit;
@@ -17,9 +17,12 @@ class VersionEdit;
 // will be named according to meta->number. On success, the rest of
 // *meta will be filled with metadata about the generated table.
 // If no data is present in *iter, meta->file_size will be set to
-// zero, and no Table file will be produced.
+// zero, and no Table file will be produced. `hint` names the stream the
+// table belongs to (kFlush for memtable flushes and recovery, kCompaction
+// for merge outputs) so the Env can steer it to the right channel.
 Status BuildTable(const std::string& dbname, Env* env, const Options& options,
-                  TableCache* table_cache, Iterator* iter, FileMetaData* meta);
+                  TableCache* table_cache, Iterator* iter, FileMetaData* meta,
+                  WriteHint hint);
 
 }  // namespace ldc
 

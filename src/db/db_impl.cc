@@ -573,7 +573,8 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     // The table build is the expensive part; run it with the lock released
     // so foreground reads and writes proceed while the flush is in flight.
     mutex_.unlock();
-    s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
+    s = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta,
+                   WriteHint::kFlush);
     mutex_.lock();
   }
   delete iter;
@@ -1133,37 +1134,63 @@ void DBImpl::ExecuteBackgroundJob(BackgroundJob* job) {
 }
 
 bool DBImpl::ScheduleBackgroundWorkSim() {
-  // The simulated device timeline is single-threaded by construction, so
-  // sim runs always keep the single-job discipline (max_background_jobs is
-  // ignored): at most one job sits on the timeline, bg_jobs_scheduled_ is
-  // 0 or 1.
-  if (bg_jobs_scheduled_ > 0 || !bg_error_.ok() ||
-      shutting_down_.load(std::memory_order_acquire)) {
+  // The simulated device timeline keeps a strict job discipline
+  // (max_background_jobs is ignored): at most one flush plus one
+  // compaction-class job sit on the timeline, and the two only overlap
+  // when the placement policy routes their streams to distinct channels.
+  // With a single channel (or no placement hints) this degenerates to the
+  // historical single-job discipline: bg_jobs_scheduled_ is 0 or 1.
+  if (!bg_error_.ok() || shutting_down_.load(std::memory_order_acquire)) {
     return false;
   }
 
   auto start_job = [this](int kind, uint64_t arg, uint64_t read_bytes,
                           uint64_t write_bytes, SimActivity activity) {
-    bg_jobs_scheduled_ = 1;
+    bg_jobs_scheduled_++;
+    if (kind == kJobFlush) {
+      sim_flush_scheduled_ = true;
+    } else {
+      sim_compaction_scheduled_ = true;
+    }
     sim_->ScheduleBackground(read_bytes, write_bytes, activity,
                              [this, kind, arg]() {
                                RunBackgroundJob(kind, arg);
                              });
   };
 
+  const bool streams_isolated = sim_->StreamsIsolated(
+      SimActivity::kFlush, SimActivity::kCompaction);
+  bool scheduled = false;
+
   // 1. Flushing the immutable memtable has priority: user writes stall
-  //    behind it.
-  if (imm_ != nullptr) {
+  //    behind it. It may ride alongside an in-flight compaction when the
+  //    flush and compaction streams live on different channels.
+  const bool flush_slot_free =
+      !sim_flush_scheduled_ &&
+      (bg_jobs_scheduled_ == 0 ||
+       (sim_compaction_scheduled_ && streams_isolated));
+  if (imm_ != nullptr && flush_slot_free) {
     start_job(kJobFlush, 0, 0, imm_->ApproximateMemoryUsage(),
               SimActivity::kFlush);
-    return true;
+    scheduled = true;
+  }
+
+  // 2. One compaction-class job (UDC / LDC merge / tiered merge). Without
+  //    stream isolation this slot only opens when the timeline is empty,
+  //    which also keeps flushes strictly prioritized.
+  const bool compaction_slot_free =
+      !sim_compaction_scheduled_ &&
+      (bg_jobs_scheduled_ == 0 ||
+       (sim_flush_scheduled_ && streams_isolated));
+  if (!compaction_slot_free) {
+    return scheduled;
   }
 
   if (options_.compaction_style == CompactionStyle::kTiered) {
     // 2c. Lazy baseline: merge a tier of similarly-sized level-0 files.
     uint64_t total_bytes = 0;
     std::vector<uint64_t> group = PickTieredGroup(&total_bytes);
-    if (group.empty()) return false;
+    if (group.empty()) return scheduled;
     assert(scheduled_tier_group_.empty());
     scheduled_tier_group_ = std::move(group);
     start_job(kJobTieredMerge, 0, total_bytes, total_bytes,
@@ -1190,7 +1217,7 @@ bool DBImpl::ScheduleBackgroundWorkSim() {
                 lower_size + slice_bytes, SimActivity::kCompaction);
       return true;
     }
-    return false;
+    return scheduled;
   }
 
   // 2b. UDC: pick a classic compaction. Trivial moves are pure metadata and
@@ -1221,15 +1248,15 @@ bool DBImpl::ScheduleBackgroundWorkSim() {
       continue;
     }
     const uint64_t input_bytes = c->TotalInputBytes();
-    // Stash the picked compaction for the job body. Only one job can be
-    // outstanding, so a single slot suffices.
+    // Stash the picked compaction for the job body. At most one
+    // compaction-class job can be outstanding, so a single slot suffices.
     assert(scheduled_udc_ == nullptr);
     scheduled_udc_ = c;
     start_job(kJobUdcCompaction, 0, input_bytes, input_bytes,
               SimActivity::kCompaction);
     return true;
   }
-  return false;
+  return scheduled;
 }
 
 void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
@@ -1275,7 +1302,12 @@ void DBImpl::RunBackgroundJob(int job_kind, uint64_t arg) {
     stats_->RecordLatency(OpHistogram::kCompactionDurationUs,
                           static_cast<double>(NowMicros() - start_us));
   }
-  bg_jobs_scheduled_ = 0;
+  if (job_kind == kJobFlush) {
+    sim_flush_scheduled_ = false;
+  } else {
+    sim_compaction_scheduled_ = false;
+  }
+  bg_jobs_scheduled_--;
   // Chain the next unit of background work (a flush may have been blocked
   // behind this job, or a merge may be queued).
   ScheduleBackgroundWorkSim();
@@ -1404,8 +1436,8 @@ Status DBImpl::DoTieredMerge(const std::vector<uint64_t>& file_numbers) {
   // with the lock released so foreground operations proceed.
   mutex_.unlock();
   WritableFile* outfile = nullptr;
-  Status status =
-      env_->NewWritableFile(TableFileName(dbname_, out.number), &outfile);
+  Status status = env_->NewWritableFile(TableFileName(dbname_, out.number),
+                                        WriteHint::kCompaction, &outfile);
   TableBuilder* builder =
       status.ok() ? new TableBuilder(options_, outfile) : nullptr;
 
@@ -1847,7 +1879,7 @@ Status DBImpl::DoLdcMerge(uint64_t lower_file_number) {
     mutex_.unlock();
     outputs.push_back(out);
     std::string fname = TableFileName(dbname_, out.number);
-    Status s = env_->NewWritableFile(fname, &outfile);
+    Status s = env_->NewWritableFile(fname, WriteHint::kCompaction, &outfile);
     if (s.ok()) {
       builder = new TableBuilder(options_, outfile);
     }
@@ -2077,7 +2109,8 @@ Status DBImpl::OpenCompactionOutputFile(CompactionState* compact) {
 
   // Make the output file
   std::string fname = TableFileName(dbname_, file_number);
-  Status s = env_->NewWritableFile(fname, &compact->outfile);
+  Status s = env_->NewWritableFile(fname, WriteHint::kCompaction,
+                                   &compact->outfile);
   if (s.ok()) {
     compact->builder = new TableBuilder(options_, compact->outfile);
   }
@@ -2791,7 +2824,8 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       assert(versions_->PrevLogNumber() == 0);
       uint64_t new_log_number = versions_->NewFileNumber();
       WritableFile* lfile = nullptr;
-      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                WriteHint::kWal, &lfile);
       if (!s.ok()) {
         break;
       }
@@ -3035,6 +3069,30 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     // Peak number of LDC merges observed running simultaneously.
     *value = NumberToString(static_cast<uint64_t>(max_parallel_merges_));
     return true;
+  } else if (in == "channels") {
+    // Per-channel device accounting, JSON. Only meaningful in sim mode.
+    if (sim_ == nullptr) {
+      return false;
+    }
+    std::string out = "{\"channels\": ";
+    out += NumberToString(static_cast<uint64_t>(sim_->num_channels()));
+    out += ", \"placement\": \"";
+    out += PlacementPolicyName(sim_->model().placement);
+    out += "\", \"per_channel\": [";
+    for (int k = 0; k < sim_->num_channels(); k++) {
+      if (k > 0) out += ", ";
+      out += "{\"channel\": " + NumberToString(static_cast<uint64_t>(k));
+      out += ", \"read_bytes\": " + NumberToString(sim_->ChannelBytesRead(k));
+      out +=
+          ", \"write_bytes\": " + NumberToString(sim_->ChannelBytesWritten(k));
+      out += ", \"busy_us\": " + NumberToString(sim_->ChannelBusyMicros(k));
+      out += ", \"queued\": " +
+             NumberToString(static_cast<uint64_t>(sim_->ChannelQueuedJobs(k)));
+      out += "}";
+    }
+    out += "]}";
+    *value = std::move(out);
+    return true;
   } else if (in == "trace-summary") {
     if (tracer_ == nullptr) {
       return false;
@@ -3228,7 +3286,7 @@ Status DB::Open(const Options& options, const std::string& dbname, DB** dbptr) {
     uint64_t new_log_number = impl->versions_->NewFileNumber();
     WritableFile* lfile;
     s = options.env->NewWritableFile(LogFileName(dbname, new_log_number),
-                                     &lfile);
+                                     WriteHint::kWal, &lfile);
     if (s.ok()) {
       edit.SetLogNumber(new_log_number);
       impl->logfile_ = lfile;
@@ -3309,8 +3367,18 @@ Status DestroyDB(const std::string& dbname, const Options& options) {
         result = del;
       }
     }
-    env->RemoveFile(ShardingFileName(dbname));
-    env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+    // Only drop the SHARDING marker (and the root) once every shard is
+    // gone. Removing the marker while a shard survives would leave the
+    // leftover shard data invisible to the sharded layout: a retried
+    // DestroyDB — or worse, a fresh Open — would treat the root as a plain
+    // DB and strand or misread the remaining shard directories.
+    if (result.ok()) {
+      Status del = env->RemoveFile(ShardingFileName(dbname));
+      if (!del.ok()) {
+        result = del;
+      }
+      env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+    }
     return result;
   }
 

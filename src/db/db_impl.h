@@ -277,9 +277,14 @@ class DBImpl : public DB {
   std::set<uint64_t> pending_outputs_;
 
   // Number of background calls scheduled or running (threaded/inline Env;
-  // bounded by options_.max_background_jobs), or 1 while a job sits on the
-  // simulated device timeline (sim).
+  // bounded by options_.max_background_jobs). In sim mode: the number of
+  // jobs sitting on the simulated device timeline — at most one flush plus
+  // one compaction-class job, and the latter only overlaps the former when
+  // the placement policy isolates the two streams onto distinct channels.
   int bg_jobs_scheduled_;
+  // Sim mode: which job classes currently occupy the timeline.
+  bool sim_flush_scheduled_ = false;
+  bool sim_compaction_scheduled_ = false;
   // Number of work units currently executing (always <= bg_jobs_scheduled_).
   int bg_jobs_running_ = 0;
   // Claimed jobs waiting for a worker (threaded/inline Env only).

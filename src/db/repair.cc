@@ -184,7 +184,8 @@ class Repairer {
     FileMetaData meta;
     meta.number = next_file_number_++;
     Iterator* iter = mem->NewIterator();
-    status = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta);
+    status = BuildTable(dbname_, env_, options_, table_cache_, iter, &meta,
+                        WriteHint::kFlush);
     delete iter;
     mem->Unref();
     mem = nullptr;

@@ -60,6 +60,9 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
     if (s.ok()) {
       s = Table::Open(options_, file, file_size, &table);
     }
+    if (s.ok()) {
+      table->SetFileNumber(file_number);
+    }
 
     if (!s.ok()) {
       assert(table == nullptr);

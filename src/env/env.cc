@@ -8,6 +8,29 @@ namespace ldc {
 
 Env::~Env() = default;
 
+const char* WriteHintName(WriteHint hint) {
+  switch (hint) {
+    case WriteHint::kWal:
+      return "wal";
+    case WriteHint::kFlush:
+      return "flush";
+    case WriteHint::kCompaction:
+      return "compaction";
+    case WriteHint::kMisc:
+      return "misc";
+    default:
+      return "unknown";
+  }
+}
+
+// Hint-oblivious default: dispatch to the classic two-argument virtual, so
+// an Env (or test wrapper) that only overrides that one still intercepts
+// every hinted creation.
+Status Env::NewWritableFile(const std::string& fname, WriteHint /*hint*/,
+                            WritableFile** result) {
+  return NewWritableFile(fname, result);
+}
+
 // Deterministic default: run the work inline on the calling thread. The
 // DB never calls Schedule while holding its mutex, so inline execution is
 // safe; it also keeps the in-memory Env (and therefore the simulated-clock

@@ -12,12 +12,28 @@
 #include <vector>
 
 #include "ldc/env.h"
+#include "ldc/sim.h"
 #include "ldc/status.h"
 #include "ldc/trace.h"
 
 namespace ldc {
 
 namespace {
+
+// The simulator stream an Env-level write hint corresponds to (kMisc maps
+// to no dedicated stream and lands on channel 0 under every policy).
+SimActivity StreamForHint(WriteHint hint) {
+  switch (hint) {
+    case WriteHint::kWal:
+      return SimActivity::kWal;
+    case WriteHint::kFlush:
+      return SimActivity::kFlush;
+    case WriteHint::kCompaction:
+      return SimActivity::kCompaction;
+    default:
+      return SimActivity::kCpu;
+  }
+}
 
 class FileState {
  public:
@@ -237,7 +253,8 @@ class InMemoryEnv : public Env {
 
     *result = new SequentialFileImpl(file_map_[fname]);
     if (Tracer* tracer = io_tracer()) {
-      *result = NewTracedSequentialFile(tracer, *result, fname);
+      *result = NewTracedSequentialFile(tracer, *result, fname,
+                                        ReadChannelArg());
     }
     return Status::OK();
   }
@@ -252,12 +269,18 @@ class InMemoryEnv : public Env {
 
     *result = new RandomAccessFileImpl(file_map_[fname]);
     if (Tracer* tracer = io_tracer()) {
-      *result = NewTracedRandomAccessFile(tracer, *result, fname);
+      *result = NewTracedRandomAccessFile(tracer, *result, fname,
+                                          ReadChannelArg());
     }
     return Status::OK();
   }
 
   Status NewWritableFile(const std::string& fname,
+                         WritableFile** result) override {
+    return NewWritableFile(fname, WriteHint::kMisc, result);
+  }
+
+  Status NewWritableFile(const std::string& fname, WriteHint hint,
                          WritableFile** result) override {
     std::lock_guard<std::mutex> l(mutex_);
     FileSystem::iterator it = file_map_.find(fname);
@@ -275,7 +298,8 @@ class InMemoryEnv : public Env {
 
     *result = new WritableFileImpl(file);
     if (Tracer* tracer = io_tracer()) {
-      *result = NewTracedWritableFile(tracer, *result, fname);
+      *result = NewTracedWritableFile(tracer, *result, fname,
+                                      WriteChannelArg(hint));
     }
     return Status::OK();
   }
@@ -408,6 +432,22 @@ class InMemoryEnv : public Env {
   }
 
  private:
+  // Trace-span channel args, resolved from the attached simulator's
+  // placement policy (-1 = no simulator or striped, i.e. no single channel
+  // to report).
+  int WriteChannelArg(WriteHint hint) const {
+    SimContext* sim = io_sim();
+    if (sim == nullptr) return -1;
+    const int c = sim->WriteChannelForStream(StreamForHint(hint));
+    return c == SimContext::kAllChannels ? -1 : c;
+  }
+  int ReadChannelArg() const {
+    SimContext* sim = io_sim();
+    if (sim == nullptr) return -1;
+    const int c = sim->ReadChannel();
+    return c == SimContext::kAllChannels ? -1 : c;
+  }
+
   // Map from filenames to FileState objects, representing a simple file
   // system.
   typedef std::map<std::string, FileState*> FileSystem;

@@ -332,12 +332,29 @@ class PosixEnv : public Env {
 
   Status NewWritableFile(const std::string& filename,
                          WritableFile** result) override {
+    return NewWritableFile(filename, WriteHint::kMisc, result);
+  }
+
+  Status NewWritableFile(const std::string& filename, WriteHint hint,
+                         WritableFile** result) override {
     int fd = ::open(filename.c_str(),
                     O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
     if (fd < 0) {
       *result = nullptr;
       return PosixError(filename, errno);
     }
+
+    // Best effort: tell the kernel what access pattern this stream has.
+    // The WAL and every table build are written strictly sequentially;
+    // kMisc files (manifest, LOG, ...) carry no useful pattern. Failure is
+    // ignored — the hint is advisory end to end.
+#if defined(POSIX_FADV_SEQUENTIAL)
+    if (hint != WriteHint::kMisc) {
+      ::posix_fadvise(fd, 0, 0, POSIX_FADV_SEQUENTIAL);
+    }
+#else
+    (void)hint;
+#endif
 
     *result = new PosixWritableFile(filename, fd);
     if (Tracer* tracer = io_tracer()) {

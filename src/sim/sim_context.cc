@@ -1,10 +1,17 @@
 #include "ldc/sim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <deque>
+#include <vector>
+
+#include "ldc/statistics.h"
 
 namespace ldc {
+
+static_assert(SsdModel::kMaxChannels == kMaxIoChannels,
+              "per-channel Statistics tickers must cover every sim channel");
 
 const char* SimActivityName(SimActivity activity) {
   switch (activity) {
@@ -23,16 +30,62 @@ const char* SimActivityName(SimActivity activity) {
   }
 }
 
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kNone:
+      return "none";
+    case PlacementPolicy::kStriped:
+      return "striped";
+    case PlacementPolicy::kIsolated:
+      return "isolated";
+    default:
+      return "unknown";
+  }
+}
+
 struct SimContext::Job {
   uint64_t completion_us;
+  uint64_t seq;  // schedule order, breaks completion-time ties
+  int channel;   // kAllChannels = striped over every channel
   SimActivity activity;
   std::function<void()> apply;
 };
 
-struct SimContext::Impl {
-  // FIFO device timeline. Jobs run back to back; front completes first.
-  std::deque<Job> jobs;
+namespace {
+
+struct Channel {
   uint64_t busy_until_us = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t busy_us = 0;
+  int queued_jobs = 0;
+  bool busy_published = false;  // last busy state pushed into Statistics
+};
+
+}  // namespace
+
+struct SimContext::Impl {
+  // Pending background jobs. Each queues FIFO behind earlier work on its
+  // channel(s); across channels jobs overlap, so completion order is the
+  // min over the queue, not the front.
+  std::deque<Job> jobs;
+  std::vector<Channel> channels;
+  uint64_t next_job_seq = 0;
+  // Round-robin slot for the isolated policy's compaction channel range.
+  uint64_t next_compaction_slot = 0;
+  Statistics* stats = nullptr;
+
+  int FindNextJob() const {
+    int best = -1;
+    for (size_t i = 0; i < jobs.size(); i++) {
+      if (best < 0 || jobs[i].completion_us < jobs[best].completion_us ||
+          (jobs[i].completion_us == jobs[best].completion_us &&
+           jobs[i].seq < jobs[best].seq)) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
 };
 
 SimContext::SimContext(const SsdModel& model)
@@ -43,9 +96,18 @@ SimContext::SimContext(const SsdModel& model)
       total_bytes_written_(0),
       total_bytes_read_(0) {
   for (uint64_t& b : busy_us_) b = 0;
+  int k = model_.num_channels;
+  k = std::max(1, std::min(k, SsdModel::kMaxChannels));
+  impl_->channels.resize(static_cast<size_t>(k));
 }
 
 SimContext::~SimContext() { delete impl_; }
+
+int SimContext::num_channels() const {
+  return static_cast<int>(impl_->channels.size());
+}
+
+void SimContext::SetStatistics(Statistics* stats) { impl_->stats = stats; }
 
 void SimContext::AdvanceMicros(double micros, SimActivity activity) {
   if (background_depth_ > 0) return;
@@ -56,54 +118,187 @@ void SimContext::AdvanceMicros(double micros, SimActivity activity) {
   // Note: completed background jobs are applied by explicit Pump() calls at
   // operation boundaries, never mid-operation, so an in-flight read never
   // sees its sources garbage-collected underneath it.
+  PublishBusyGauges();
+}
+
+// --- Channel placement -------------------------------------------------------
+
+int SimContext::WriteChannelForStream(SimActivity stream) const {
+  const int k = num_channels();
+  if (k == 1 || model_.placement == PlacementPolicy::kNone) return 0;
+  if (model_.placement == PlacementPolicy::kStriped) return kAllChannels;
+  // kIsolated: WAL -> 0, flush -> 1, compaction -> round-robin over
+  // [2, K-2], everything else (manifest writes etc.) -> the WAL channel.
+  // Clamped so small K degrades gracefully (K=2 shares 1 for flush and
+  // compaction; K=3 shares 2 for compaction and reads).
+  switch (stream) {
+    case SimActivity::kWal:
+      return 0;
+    case SimActivity::kFlush:
+      return std::min(1, k - 1);
+    case SimActivity::kCompaction: {
+      const int lo = std::min(2, k - 1);
+      const int hi = std::max(lo, k - 2);
+      return lo + static_cast<int>(impl_->next_compaction_slot %
+                                   static_cast<uint64_t>(hi - lo + 1));
+    }
+    default:
+      return 0;
+  }
+}
+
+int SimContext::ReadChannel() const {
+  const int k = num_channels();
+  if (k == 1 || model_.placement == PlacementPolicy::kNone) return 0;
+  if (model_.placement == PlacementPolicy::kStriped) return kAllChannels;
+  return k - 1;
+}
+
+int SimContext::ChannelOfFile(uint64_t file_number) const {
+  // Sealed tables are owned by the read-serving channel group: the write
+  // streams that created them ran on their own channels, and steering
+  // sealed data to read-reserved units is exactly the isolation the policy
+  // models. One group today, so every file maps to the same channel.
+  (void)file_number;
+  return ReadChannel();
+}
+
+bool SimContext::StreamsIsolated(SimActivity a, SimActivity b) const {
+  const int ca = WriteChannelForStream(a);
+  const int cb = WriteChannelForStream(b);
+  return ca != kAllChannels && cb != kAllChannels && ca != cb;
+}
+
+// --- Foreground I/O charging -------------------------------------------------
+
+// Foreground I/O shares its channel(s) with background jobs: it consumes
+// device time there, inflating its own cost by the contention factor and
+// pushing queued completions on the channel later (the th_w^ssd - th_read
+// coupling of the paper's equation (3)).
+void SimContext::ChargeForegroundOp(double cost_us, uint64_t bytes,
+                                    bool is_read, int channel,
+                                    SimActivity activity) {
+  const int k = num_channels();
+  auto& channels = impl_->channels;
+
+  // Byte accounting: a striped op spreads its bytes over every channel
+  // (channel 0 absorbs the integer remainder).
+  if (channel == kAllChannels) {
+    const uint64_t share = bytes / static_cast<uint64_t>(k);
+    for (int c = 0; c < k; c++) {
+      const uint64_t b =
+          share + (c == 0 ? bytes % static_cast<uint64_t>(k) : 0);
+      if (is_read) {
+        channels[c].bytes_read += b;
+      } else {
+        channels[c].bytes_written += b;
+      }
+      if (impl_->stats != nullptr && b > 0) {
+        impl_->stats->Record(
+            is_read ? ChannelReadBytesTicker(c) : ChannelWriteBytesTicker(c),
+            b);
+      }
+    }
+  } else {
+    Channel& ch = channels[channel];
+    if (is_read) {
+      ch.bytes_read += bytes;
+    } else {
+      ch.bytes_written += bytes;
+    }
+    if (impl_->stats != nullptr && bytes > 0) {
+      impl_->stats->Record(is_read ? ChannelReadBytesTicker(channel)
+                                   : ChannelWriteBytesTicker(channel),
+                           bytes);
+    }
+  }
+
+  // Occupation + contention. The target channel set is busy when any of
+  // its members still has queued device time; in that case this op both
+  // suffers the contention factor and pushes the queued completions later.
+  bool contended = false;
+  const uint64_t delta = static_cast<uint64_t>(cost_us + 0.5);
+  bool pushed[SsdModel::kMaxChannels] = {};
+  for (int c = 0; c < k; c++) {
+    if (channel != kAllChannels && c != channel) continue;
+    Channel& ch = channels[c];
+    ch.busy_us += delta;
+    if (ch.busy_until_us > now_us_) {
+      contended = true;
+      ch.busy_until_us += delta;
+      pushed[c] = true;
+    }
+  }
+  if (delta > 0) {
+    for (Job& job : impl_->jobs) {
+      const bool affected =
+          job.channel == kAllChannels
+              ? std::any_of(pushed, pushed + k, [](bool p) { return p; })
+              : pushed[job.channel];
+      if (affected) job.completion_us += delta;
+    }
+  }
+
+  if (contended) cost_us *= model_.contention_factor;
+  AdvanceMicros(cost_us, activity);
+}
+
+void SimContext::ChargeForegroundRead(uint64_t bytes, uint64_t file_number) {
+  if (background_depth_ > 0) return;
+  total_bytes_read_ += bytes;
+  const int channel = ChannelOfFile(file_number);
+  const double transfer_bytes =
+      channel == kAllChannels
+          ? static_cast<double>(bytes) / num_channels()
+          : static_cast<double>(bytes);
+  const double cost =
+      model_.read_latency_us + transfer_bytes / model_.read_bandwidth_mbps;
+  ChargeForegroundOp(cost, bytes, /*is_read=*/true, channel,
+                     SimActivity::kUserRead);
 }
 
 void SimContext::ChargeForegroundRead(uint64_t bytes) {
+  // No file identity available; charge the policy's read channel.
   if (background_depth_ > 0) return;
   total_bytes_read_ += bytes;
-  double cost = model_.ReadCostMicros(bytes);
-  OccupyDevice(cost);
-  if (now_us_ < impl_->busy_until_us) {
-    cost *= model_.contention_factor;
-  }
-  AdvanceMicros(cost, SimActivity::kUserRead);
-}
-
-// Foreground I/O shares the device with background jobs: it consumes device
-// time, pushing every queued flush/compaction completion later (the
-// th_w^ssd - th_read coupling of the paper's equation (3)).
-void SimContext::OccupyDevice(double cost_us) {
-  if (impl_->busy_until_us > now_us_) {
-    const uint64_t delta = static_cast<uint64_t>(cost_us + 0.5);
-    impl_->busy_until_us += delta;
-    for (Job& job : impl_->jobs) {
-      job.completion_us += delta;
-    }
-  }
+  const int channel = ReadChannel();
+  const double transfer_bytes =
+      channel == kAllChannels
+          ? static_cast<double>(bytes) / num_channels()
+          : static_cast<double>(bytes);
+  const double cost =
+      model_.read_latency_us + transfer_bytes / model_.read_bandwidth_mbps;
+  ChargeForegroundOp(cost, bytes, /*is_read=*/true, channel,
+                     SimActivity::kUserRead);
 }
 
 void SimContext::ChargeForegroundWrite(uint64_t bytes, SimActivity activity) {
   if (background_depth_ > 0) return;
   total_bytes_written_ += bytes;
-  double cost = model_.WriteCostMicros(bytes);
-  OccupyDevice(cost);
-  if (now_us_ < impl_->busy_until_us) {
-    cost *= model_.contention_factor;
-  }
-  AdvanceMicros(cost, activity);
+  const int channel = WriteChannelForStream(activity);
+  const double transfer_bytes =
+      channel == kAllChannels
+          ? static_cast<double>(bytes) / num_channels()
+          : static_cast<double>(bytes);
+  const double cost =
+      model_.write_latency_us + transfer_bytes / model_.write_bandwidth_mbps;
+  ChargeForegroundOp(cost, bytes, /*is_read=*/false, channel, activity);
 }
 
 void SimContext::ChargeBufferedAppend(uint64_t bytes, SimActivity activity) {
   if (background_depth_ > 0) return;
   total_bytes_written_ += bytes;
-  double cost =
-      model_.buffered_append_latency_us + bytes / model_.write_bandwidth_mbps;
-  OccupyDevice(cost);
-  if (now_us_ < impl_->busy_until_us) {
-    cost *= model_.contention_factor;
-  }
-  AdvanceMicros(cost, activity);
+  const int channel = WriteChannelForStream(activity);
+  const double transfer_bytes =
+      channel == kAllChannels
+          ? static_cast<double>(bytes) / num_channels()
+          : static_cast<double>(bytes);
+  const double cost = model_.buffered_append_latency_us +
+                      transfer_bytes / model_.write_bandwidth_mbps;
+  ChargeForegroundOp(cost, bytes, /*is_read=*/false, channel, activity);
 }
+
+// --- Background jobs ---------------------------------------------------------
 
 uint64_t SimContext::ScheduleBackground(uint64_t read_bytes,
                                         uint64_t write_bytes,
@@ -111,37 +306,96 @@ uint64_t SimContext::ScheduleBackground(uint64_t read_bytes,
                                         std::function<void()> apply) {
   total_bytes_read_ += read_bytes;
   total_bytes_written_ += write_bytes;
+
+  const int k = num_channels();
+  int channel = WriteChannelForStream(activity);
+  if (activity == SimActivity::kCompaction &&
+      model_.placement == PlacementPolicy::kIsolated) {
+    impl_->next_compaction_slot++;  // next compaction job rotates onward
+  }
+
+  // A striped job splits its transfer over every channel; a pinned job pays
+  // the full cost on its own channel.
+  const double scale =
+      channel == kAllChannels ? 1.0 / static_cast<double>(k) : 1.0;
   const double duration =
-      (read_bytes > 0 ? model_.ReadCostMicros(read_bytes) : 0.0) +
-      (write_bytes > 0 ? model_.WriteCostMicros(write_bytes) : 0.0);
-  const uint64_t start =
-      impl_->busy_until_us > now_us_ ? impl_->busy_until_us : now_us_;
-  const uint64_t completion = start + static_cast<uint64_t>(duration + 0.5);
-  impl_->busy_until_us = completion;
-  busy_us_[static_cast<int>(activity)] +=
-      static_cast<uint64_t>(duration + 0.5);
-  impl_->jobs.push_back(Job{completion, activity, std::move(apply)});
+      (read_bytes > 0
+           ? model_.read_latency_us +
+                 read_bytes * scale / model_.read_bandwidth_mbps
+           : 0.0) +
+      (write_bytes > 0
+           ? model_.write_latency_us +
+                 write_bytes * scale / model_.write_bandwidth_mbps
+           : 0.0);
+  const uint64_t rounded = static_cast<uint64_t>(duration + 0.5);
+
+  // FIFO behind earlier work on the job's channel(s): start when every
+  // target channel is free.
+  uint64_t start = now_us_;
+  auto& channels = impl_->channels;
+  for (int c = 0; c < k; c++) {
+    if (channel != kAllChannels && c != channel) continue;
+    start = std::max(start, channels[c].busy_until_us);
+  }
+  const uint64_t completion = start + rounded;
+  for (int c = 0; c < k; c++) {
+    if (channel != kAllChannels && c != channel) continue;
+    channels[c].busy_until_us = completion;
+    channels[c].busy_us += rounded;
+    channels[c].queued_jobs++;
+    if (impl_->stats != nullptr) {
+      impl_->stats->AddGauge(ChannelQueuedGauge(c));
+    }
+    const uint64_t div =
+        channel == kAllChannels ? static_cast<uint64_t>(k) : 1;
+    // Striped jobs spread their bytes over every channel; channel 0
+    // absorbs the integer remainder.
+    const uint64_t br = read_bytes / div + (c == 0 ? read_bytes % div : 0);
+    const uint64_t bw = write_bytes / div + (c == 0 ? write_bytes % div : 0);
+    channels[c].bytes_read += br;
+    channels[c].bytes_written += bw;
+    if (impl_->stats != nullptr) {
+      if (br > 0) impl_->stats->Record(ChannelReadBytesTicker(c), br);
+      if (bw > 0) impl_->stats->Record(ChannelWriteBytesTicker(c), bw);
+    }
+  }
+  busy_us_[static_cast<int>(activity)] += rounded;
+  impl_->jobs.push_back(
+      Job{completion, impl_->next_job_seq++, channel, activity,
+          std::move(apply)});
+  PublishBusyGauges();
   return completion;
 }
 
 void SimContext::ApplyJob(Job* job) {
+  const int k = num_channels();
+  for (int c = 0; c < k; c++) {
+    if (job->channel != kAllChannels && c != job->channel) continue;
+    impl_->channels[c].queued_jobs--;
+    if (impl_->stats != nullptr) {
+      impl_->stats->SubGauge(ChannelQueuedGauge(c));
+    }
+  }
+  PublishBusyGauges();
   BackgroundScope scope(this);
   if (job->apply) job->apply();
 }
 
 void SimContext::Pump() {
-  while (!impl_->jobs.empty() &&
-         impl_->jobs.front().completion_us <= now_us_) {
-    Job job = std::move(impl_->jobs.front());
-    impl_->jobs.pop_front();
+  for (;;) {
+    const int next = impl_->FindNextJob();
+    if (next < 0 || impl_->jobs[next].completion_us > now_us_) break;
+    Job job = std::move(impl_->jobs[next]);
+    impl_->jobs.erase(impl_->jobs.begin() + next);
     ApplyJob(&job);
   }
 }
 
 bool SimContext::WaitForNextBackgroundJob() {
-  if (impl_->jobs.empty()) return false;
-  Job job = std::move(impl_->jobs.front());
-  impl_->jobs.pop_front();
+  const int next = impl_->FindNextJob();
+  if (next < 0) return false;
+  Job job = std::move(impl_->jobs[next]);
+  impl_->jobs.erase(impl_->jobs.begin() + next);
   if (job.completion_us > now_us_) {
     now_us_ = job.completion_us;
   }
@@ -159,7 +413,27 @@ bool SimContext::HasPendingBackgroundJobs() const {
 }
 
 uint64_t SimContext::DeviceBusyUntil() const {
-  return impl_->busy_until_us > now_us_ ? impl_->busy_until_us : now_us_;
+  uint64_t busy = now_us_;
+  for (const Channel& ch : impl_->channels) {
+    busy = std::max(busy, ch.busy_until_us);
+  }
+  return busy;
+}
+
+void SimContext::PublishBusyGauges() {
+  if (impl_->stats == nullptr) return;
+  for (int c = 0; c < num_channels(); c++) {
+    Channel& ch = impl_->channels[c];
+    const bool busy = ch.busy_until_us > now_us_;
+    if (busy != ch.busy_published) {
+      if (busy) {
+        impl_->stats->AddGauge(ChannelBusyGauge(c));
+      } else {
+        impl_->stats->SubGauge(ChannelBusyGauge(c));
+      }
+      ch.busy_published = busy;
+    }
+  }
 }
 
 SimContext::BackgroundScope::BackgroundScope(SimContext* sim) : sim_(sim) {
@@ -170,6 +444,26 @@ SimContext::BackgroundScope::~BackgroundScope() { sim_->background_depth_--; }
 
 uint64_t SimContext::BusyMicros(SimActivity activity) const {
   return busy_us_[static_cast<int>(activity)];
+}
+
+uint64_t SimContext::ChannelBytesRead(int k) const {
+  return impl_->channels[k].bytes_read;
+}
+
+uint64_t SimContext::ChannelBytesWritten(int k) const {
+  return impl_->channels[k].bytes_written;
+}
+
+uint64_t SimContext::ChannelBusyMicros(int k) const {
+  return impl_->channels[k].busy_us;
+}
+
+int SimContext::ChannelQueuedJobs(int k) const {
+  return impl_->channels[k].queued_jobs;
+}
+
+bool SimContext::ChannelBusy(int k) const {
+  return impl_->channels[k].busy_until_us > now_us_;
 }
 
 double SimContext::EstimatedPeCyclesConsumed() const {
@@ -198,6 +492,20 @@ std::string SimContext::ReportBreakdown() const {
              SimActivityName(static_cast<SimActivity>(i)),
              static_cast<unsigned long long>(busy_us_[i]), pct);
     result.append(buf);
+  }
+  if (num_channels() > 1) {
+    snprintf(buf, sizeof(buf), "channels: %d (%s placement)\n",
+             num_channels(), PlacementPolicyName(model_.placement));
+    result.append(buf);
+    for (int c = 0; c < num_channels(); c++) {
+      snprintf(buf, sizeof(buf),
+               "  channel %d   : %12llu us busy, %llu B read, %llu B "
+               "written\n",
+               c, static_cast<unsigned long long>(ChannelBusyMicros(c)),
+               static_cast<unsigned long long>(ChannelBytesRead(c)),
+               static_cast<unsigned long long>(ChannelBytesWritten(c)));
+      result.append(buf);
+    }
   }
   return result;
 }

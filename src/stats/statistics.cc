@@ -9,6 +9,9 @@ namespace ldc {
 
 namespace {
 
+static_assert(kMaxIoChannels == 8,
+              "the name tables below spell out 8 per-channel slots");
+
 const char* const kTickerNames[kTickerCount] = {
     "compaction.read.bytes",
     "compaction.write.bytes",
@@ -35,11 +38,43 @@ const char* const kTickerNames[kTickerCount] = {
     "slowdown.micros",
     "bg.jobs.scheduled",
     "bg.work.units",
+    "io.channel.0.read.bytes",
+    "io.channel.1.read.bytes",
+    "io.channel.2.read.bytes",
+    "io.channel.3.read.bytes",
+    "io.channel.4.read.bytes",
+    "io.channel.5.read.bytes",
+    "io.channel.6.read.bytes",
+    "io.channel.7.read.bytes",
+    "io.channel.0.write.bytes",
+    "io.channel.1.write.bytes",
+    "io.channel.2.write.bytes",
+    "io.channel.3.write.bytes",
+    "io.channel.4.write.bytes",
+    "io.channel.5.write.bytes",
+    "io.channel.6.write.bytes",
+    "io.channel.7.write.bytes",
 };
 
 const char* const kGaugeNames[kGaugeCount] = {
     "bg.jobs.running",
     "ldc.merges.running",
+    "io.channel.0.queued",
+    "io.channel.1.queued",
+    "io.channel.2.queued",
+    "io.channel.3.queued",
+    "io.channel.4.queued",
+    "io.channel.5.queued",
+    "io.channel.6.queued",
+    "io.channel.7.queued",
+    "io.channel.0.busy",
+    "io.channel.1.busy",
+    "io.channel.2.busy",
+    "io.channel.3.busy",
+    "io.channel.4.busy",
+    "io.channel.5.busy",
+    "io.channel.6.busy",
+    "io.channel.7.busy",
 };
 
 const char* const kHistogramNames[static_cast<uint32_t>(

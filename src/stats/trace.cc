@@ -95,7 +95,7 @@ void Tracer::Instant(TraceCat cat, const char* name, const char* label,
 
 void Tracer::Complete(TraceCat cat, const char* name, uint64_t ts,
                       uint64_t dur, const char* label, const char* a1_name,
-                      uint64_t a1) {
+                      uint64_t a1, int channel) {
   TraceEvent event;
   event.ts = ts;
   event.dur = dur;
@@ -106,6 +106,7 @@ void Tracer::Complete(TraceCat cat, const char* name, uint64_t ts,
   event.phase = 'X';
   event.a1_name = a1_name;
   event.a1 = a1;
+  event.channel = channel;
   if (label != nullptr) CopyLabel(event.label, sizeof(event.label), label);
   Emit(event);
 }
@@ -164,6 +165,9 @@ std::string Tracer::ExportChromeTrace() const {
     if (event.label[0] != '\0') w.KV("label", std::string(event.label));
     if (event.a1_name != nullptr) w.KV(event.a1_name, event.a1);
     if (event.a2_name != nullptr) w.KV(event.a2_name, event.a2);
+    if (event.channel >= 0) {
+      w.KV("channel", static_cast<uint64_t>(event.channel));
+    }
     if (event.flow_in != 0) w.KV("flow_in", event.flow_in);
     if (event.flow_out != 0) w.KV("flow_out", event.flow_out);
     w.EndObject();
@@ -246,15 +250,16 @@ namespace {
 class TracedSequentialFile : public SequentialFile {
  public:
   TracedSequentialFile(Tracer* tracer, SequentialFile* file,
-                       const std::string& fname)
-      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+                       const std::string& fname, int channel)
+      : tracer_(tracer), file_(file), name_(Basename(fname)),
+        channel_(channel) {}
   ~TracedSequentialFile() override { delete file_; }
 
   Status Read(size_t n, Slice* result, char* scratch) override {
     const uint64_t start = tracer_->Now();
     Status s = file_->Read(n, result, scratch);
     tracer_->Complete(TraceCat::kIo, "io.read", start, tracer_->Now() - start,
-                      name_.c_str(), "bytes", result->size());
+                      name_.c_str(), "bytes", result->size(), channel_);
     return s;
   }
 
@@ -264,13 +269,15 @@ class TracedSequentialFile : public SequentialFile {
   Tracer* const tracer_;
   SequentialFile* const file_;
   const std::string name_;
+  const int channel_;
 };
 
 class TracedRandomAccessFile : public RandomAccessFile {
  public:
   TracedRandomAccessFile(Tracer* tracer, RandomAccessFile* file,
-                         const std::string& fname)
-      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+                         const std::string& fname, int channel)
+      : tracer_(tracer), file_(file), name_(Basename(fname)),
+        channel_(channel) {}
   ~TracedRandomAccessFile() override { delete file_; }
 
   Status Read(uint64_t offset, size_t n, Slice* result,
@@ -288,6 +295,7 @@ class TracedRandomAccessFile : public RandomAccessFile {
     event.a1 = offset;
     event.a2_name = "bytes";
     event.a2 = result->size();
+    event.channel = channel_;
     std::snprintf(event.label, sizeof(event.label), "%s", name_.c_str());
     tracer_->Emit(event);
     return s;
@@ -297,13 +305,15 @@ class TracedRandomAccessFile : public RandomAccessFile {
   Tracer* const tracer_;
   RandomAccessFile* const file_;
   const std::string name_;
+  const int channel_;
 };
 
 class TracedWritableFile : public WritableFile {
  public:
   TracedWritableFile(Tracer* tracer, WritableFile* file,
-                     const std::string& fname)
-      : tracer_(tracer), file_(file), name_(Basename(fname)) {}
+                     const std::string& fname, int channel)
+      : tracer_(tracer), file_(file), name_(Basename(fname)),
+        channel_(channel) {}
   ~TracedWritableFile() override { delete file_; }
 
   Status Append(const Slice& data) override {
@@ -311,7 +321,7 @@ class TracedWritableFile : public WritableFile {
     Status s = file_->Append(data);
     tracer_->Complete(TraceCat::kIo, "io.write", start,
                       tracer_->Now() - start, name_.c_str(), "bytes",
-                      data.size());
+                      data.size(), channel_);
     return s;
   }
 
@@ -323,7 +333,7 @@ class TracedWritableFile : public WritableFile {
     const uint64_t start = tracer_->Now();
     Status s = file_->Sync();
     tracer_->Complete(TraceCat::kIo, "io.sync", start, tracer_->Now() - start,
-                      name_.c_str());
+                      name_.c_str(), nullptr, 0, channel_);
     return s;
   }
 
@@ -331,24 +341,27 @@ class TracedWritableFile : public WritableFile {
   Tracer* const tracer_;
   WritableFile* const file_;
   const std::string name_;
+  const int channel_;
 };
 
 }  // namespace
 
 SequentialFile* NewTracedSequentialFile(Tracer* tracer, SequentialFile* file,
-                                        const std::string& fname) {
-  return new TracedSequentialFile(tracer, file, fname);
+                                        const std::string& fname,
+                                        int channel) {
+  return new TracedSequentialFile(tracer, file, fname, channel);
 }
 
 RandomAccessFile* NewTracedRandomAccessFile(Tracer* tracer,
                                             RandomAccessFile* file,
-                                            const std::string& fname) {
-  return new TracedRandomAccessFile(tracer, file, fname);
+                                            const std::string& fname,
+                                            int channel) {
+  return new TracedRandomAccessFile(tracer, file, fname, channel);
 }
 
 WritableFile* NewTracedWritableFile(Tracer* tracer, WritableFile* file,
-                                    const std::string& fname) {
-  return new TracedWritableFile(tracer, file, fname);
+                                    const std::string& fname, int channel) {
+  return new TracedWritableFile(tracer, file, fname, channel);
 }
 
 }  // namespace ldc

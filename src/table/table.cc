@@ -26,6 +26,7 @@ struct Table::Rep {
   Options options;
   Status status;
   RandomAccessFile* file;
+  uint64_t file_number = 0;  // set via SetFileNumber (0 = unknown)
   uint64_t cache_id;
   FilterBlockReader* filter;
   const char* filter_data;
@@ -131,6 +132,10 @@ void Table::ReadFilter(const Slice& filter_handle_value) {
 
 Table::~Table() { delete rep_; }
 
+void Table::SetFileNumber(uint64_t file_number) {
+  rep_->file_number = file_number;
+}
+
 static void DeleteBlock(void* arg, void* /*ignored*/) {
   delete reinterpret_cast<Block*>(arg);
 }
@@ -194,7 +199,9 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
             perf->block_read_count++;
             perf->block_read_bytes += bytes;
           }
-          if (sim != nullptr) sim->ChargeForegroundRead(bytes);
+          if (sim != nullptr) {
+            sim->ChargeForegroundRead(bytes, table->rep_->file_number);
+          }
         }
       }
     } else {
@@ -212,7 +219,9 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
           perf->block_read_count++;
           perf->block_read_bytes += bytes;
         }
-        if (sim != nullptr) sim->ChargeForegroundRead(bytes);
+        if (sim != nullptr) {
+          sim->ChargeForegroundRead(bytes, table->rep_->file_number);
+        }
       }
     }
   }

@@ -57,6 +57,11 @@ class Table {
   friend class TableCache;
   struct Rep;
 
+  // Records which table file this is. Set by the TableCache right after
+  // Open; block reads pass it to the simulator so each read is charged to
+  // the channel owning the file.
+  void SetFileNumber(uint64_t file_number);
+
   static Iterator* BlockReader(void*, const ReadOptions&, const Slice&);
 
   explicit Table(Rep* rep) : rep_(rep) {}

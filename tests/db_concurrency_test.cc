@@ -544,6 +544,12 @@ class FailingEnv : public EnvWrapper {
     return EnvWrapper::NewWritableFile(f, r);
   }
 
+  // Hinted creations must hit the same fault-injection path.
+  Status NewWritableFile(const std::string& f, WriteHint /*hint*/,
+                         WritableFile** r) override {
+    return NewWritableFile(f, r);
+  }
+
   static bool IsTableFile(const std::string& f) {
     return f.size() > 4 && f.compare(f.size() - 4, 4, ".ldb") == 0;
   }

@@ -72,8 +72,39 @@ class TableFaultEnv : public EnvWrapper {
     return EnvWrapper::NewWritableFile(fname, r);
   }
 
+  // Hinted creations must hit the same fault-injection path; the hint
+  // itself is irrelevant here.
+  Status NewWritableFile(const std::string& fname, WriteHint /*hint*/,
+                         WritableFile** r) override {
+    return NewWritableFile(fname, r);
+  }
+
  private:
   std::atomic<bool> armed_{false};
+  std::string substring_;
+};
+
+// Once armed, refuses to remove files whose path contains the configured
+// substring, so DestroyDB on the matching shard fails partway.
+class RemoveFaultEnv : public EnvWrapper {
+ public:
+  explicit RemoveFaultEnv(Env* target) : EnvWrapper(target) {}
+
+  void ArmFor(const std::string& path_substring) {
+    substring_ = path_substring;
+    armed_ = true;
+  }
+  void Disarm() { armed_ = false; }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (armed_ && fname.find(substring_) != std::string::npos) {
+      return Status::IOError(fname, "injected remove fault");
+    }
+    return EnvWrapper::RemoveFile(fname);
+  }
+
+ private:
+  bool armed_ = false;
   std::string substring_;
 };
 
@@ -308,6 +339,34 @@ TEST_F(ShardedDBTest, CrossShardWriteBatchFailsBeforeAnyApply) {
   DestroyDB("/db", options_);
   options_.env = env_.get();
   options_.shard_router = nullptr;
+}
+
+TEST_F(ShardedDBTest, DestroyDBKeepsMarkerWhenShardRemovalFails) {
+  RemoveFaultEnv fault_env(env_.get());
+  options_.env = &fault_env;
+  Open();
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+  db_.reset();
+
+  // Shard 1 cannot be emptied: the destroy must report the failure and
+  // leave the SHARDING marker in place, so the root still reads as a
+  // sharded layout (a retry or reopen must not mistake it for a plain DB
+  // and strand the surviving shards).
+  fault_env.ArmFor("/db/shard-1/");
+  EXPECT_FALSE(DestroyDB("/db", options_).ok());
+  EXPECT_TRUE(fault_env.FileExists("/db/SHARDING"));
+
+  // Once the fault clears, a retried destroy removes everything.
+  fault_env.Disarm();
+  EXPECT_TRUE(DestroyDB("/db", options_).ok());
+  EXPECT_FALSE(fault_env.FileExists("/db/SHARDING"));
+
+  // fault_env lives on this stack frame: point the fixture options back at
+  // the long-lived env before it goes away.
+  options_.env = env_.get();
 }
 
 TEST_F(ShardedDBTest, ReopenRecoversAllShards) {

@@ -4,6 +4,7 @@
 #include "ldc/sim.h"
 
 #include "gtest/gtest.h"
+#include "ldc/statistics.h"
 
 namespace ldc {
 
@@ -150,6 +151,172 @@ TEST(SimContext, ReportBreakdownMentionsActivities) {
   std::string report = sim.ReportBreakdown();
   EXPECT_NE(std::string::npos, report.find("cpu"));
   EXPECT_NE(std::string::npos, report.find("compaction"));
+}
+
+// --- Multi-channel placement -------------------------------------------------
+
+namespace {
+
+SsdModel MultiChannelModel(PlacementPolicy placement, int channels = 4) {
+  SsdModel model = TestModel();
+  model.num_channels = channels;
+  model.placement = placement;
+  return model;
+}
+
+}  // namespace
+
+TEST(SimChannels, IsolatedPinsStreamsToDistinctChannels) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  EXPECT_EQ(4, sim.num_channels());
+  EXPECT_EQ(0, sim.WriteChannelForStream(SimActivity::kWal));
+  EXPECT_EQ(1, sim.WriteChannelForStream(SimActivity::kFlush));
+  EXPECT_EQ(2, sim.WriteChannelForStream(SimActivity::kCompaction));
+  EXPECT_EQ(3, sim.ReadChannel());
+  EXPECT_TRUE(sim.StreamsIsolated(SimActivity::kFlush,
+                                  SimActivity::kCompaction));
+  EXPECT_TRUE(sim.StreamsIsolated(SimActivity::kWal, SimActivity::kFlush));
+}
+
+TEST(SimChannels, NoneAndSingleChannelShareChannelZero) {
+  SimContext none(MultiChannelModel(PlacementPolicy::kNone));
+  EXPECT_EQ(0, none.WriteChannelForStream(SimActivity::kFlush));
+  EXPECT_EQ(0, none.ReadChannel());
+  EXPECT_FALSE(none.StreamsIsolated(SimActivity::kFlush,
+                                    SimActivity::kCompaction));
+
+  SimContext one(MultiChannelModel(PlacementPolicy::kIsolated, 1));
+  EXPECT_EQ(1, one.num_channels());
+  EXPECT_EQ(0, one.WriteChannelForStream(SimActivity::kCompaction));
+  EXPECT_FALSE(one.StreamsIsolated(SimActivity::kFlush,
+                                   SimActivity::kCompaction));
+}
+
+TEST(SimChannels, StripedSpansEveryChannel) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kStriped));
+  EXPECT_EQ(SimContext::kAllChannels,
+            sim.WriteChannelForStream(SimActivity::kFlush));
+  EXPECT_EQ(SimContext::kAllChannels, sim.ReadChannel());
+  EXPECT_FALSE(sim.StreamsIsolated(SimActivity::kFlush,
+                                   SimActivity::kCompaction));
+}
+
+TEST(SimChannels, JobsOnDistinctChannelsOverlap) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  // Flush lands on channel 1, compaction on channel 2: both 30-us jobs run
+  // concurrently and the device drains at 30 us, not 60.
+  uint64_t c1 = sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  uint64_t c2 =
+      sim.ScheduleBackground(0, 1000, SimActivity::kCompaction, nullptr);
+  EXPECT_EQ(30u, c1);
+  EXPECT_EQ(30u, c2);
+  sim.Drain();
+  EXPECT_EQ(30u, sim.NowMicros());
+}
+
+TEST(SimChannels, JobsOnSameChannelSerialize) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  // Two flushes share channel 1: the second queues behind the first.
+  uint64_t c1 = sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  uint64_t c2 = sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  EXPECT_EQ(30u, c1);
+  EXPECT_EQ(60u, c2);
+  sim.Drain();
+  EXPECT_EQ(60u, sim.NowMicros());
+}
+
+TEST(SimChannels, StripedJobsSerializeButTransferFaster) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kStriped));
+  // A striped job occupies all four channels with a quarter of the
+  // transfer each: 20 us latency + 10/4 us transfer = 22.5 -> 23 us. The
+  // second job needs the same channels and queues behind it.
+  uint64_t c1 = sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  uint64_t c2 =
+      sim.ScheduleBackground(0, 1000, SimActivity::kCompaction, nullptr);
+  EXPECT_EQ(23u, c1);
+  EXPECT_EQ(46u, c2);
+}
+
+TEST(SimChannels, IsolatedReadsDodgeCompactionContention) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  sim.ScheduleBackground(0, 100000, SimActivity::kCompaction, nullptr);
+  ASSERT_TRUE(sim.ChannelBusy(2));
+  ASSERT_FALSE(sim.ChannelBusy(3));
+  // The read is served by channel 3 while compaction hammers channel 2:
+  // full speed, no contention factor.
+  sim.ChargeForegroundRead(1000, /*file_number=*/7);
+  EXPECT_EQ(11u, sim.NowMicros());
+}
+
+TEST(SimChannels, StripedReadsContendWithAnyJob) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kStriped));
+  sim.ScheduleBackground(0, 100000, SimActivity::kCompaction, nullptr);
+  // Striped read: 10 us latency + (1000/4)/1000 us transfer = 10.25 us,
+  // doubled by contention (every channel is busy) = 20.5 -> 21 us.
+  sim.ChargeForegroundRead(1000, /*file_number=*/7);
+  EXPECT_EQ(21u, sim.NowMicros());
+}
+
+TEST(SimChannels, PerChannelLedgerSeparatesStreams) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  sim.ChargeBufferedAppend(100, SimActivity::kWal);         // channel 0
+  sim.ScheduleBackground(0, 1000, SimActivity::kFlush,      // channel 1
+                         nullptr);
+  sim.ScheduleBackground(500, 700, SimActivity::kCompaction,  // channel 2
+                         nullptr);
+  sim.ChargeForegroundRead(2000, /*file_number=*/9);        // channel 3
+  sim.Drain();
+
+  EXPECT_EQ(100u, sim.ChannelBytesWritten(0));
+  EXPECT_EQ(0u, sim.ChannelBytesRead(0));
+  EXPECT_EQ(1000u, sim.ChannelBytesWritten(1));
+  EXPECT_EQ(0u, sim.ChannelBytesRead(1));
+  EXPECT_EQ(700u, sim.ChannelBytesWritten(2));
+  EXPECT_EQ(500u, sim.ChannelBytesRead(2));
+  EXPECT_EQ(0u, sim.ChannelBytesWritten(3));
+  EXPECT_EQ(2000u, sim.ChannelBytesRead(3));
+}
+
+TEST(SimChannels, StripedSpreadsBytesWithRemainderOnChannelZero) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kStriped));
+  sim.ScheduleBackground(0, 1003, SimActivity::kFlush, nullptr);
+  EXPECT_EQ(250u + 3u, sim.ChannelBytesWritten(0));
+  EXPECT_EQ(250u, sim.ChannelBytesWritten(1));
+  EXPECT_EQ(250u, sim.ChannelBytesWritten(2));
+  EXPECT_EQ(250u, sim.ChannelBytesWritten(3));
+}
+
+TEST(SimChannels, PublishesTickersAndGaugesIntoStatistics) {
+  SimContext sim(MultiChannelModel(PlacementPolicy::kIsolated));
+  Statistics stats;
+  sim.SetStatistics(&stats);
+
+  sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+  EXPECT_EQ(1000u, stats.Get(ChannelWriteBytesTicker(1)));
+  EXPECT_EQ(1u, stats.GetGauge(ChannelQueuedGauge(1)));
+  EXPECT_EQ(1u, stats.GetGauge(ChannelBusyGauge(1)));
+  EXPECT_EQ(0u, stats.GetGauge(ChannelBusyGauge(2)));
+
+  sim.Drain();
+  EXPECT_EQ(0u, stats.GetGauge(ChannelQueuedGauge(1)));
+  EXPECT_EQ(0u, stats.GetGauge(ChannelBusyGauge(1)));
+}
+
+TEST(SimChannels, SingleChannelMatchesLegacyTimeline) {
+  // K=1 must reproduce the historical single-FIFO numbers regardless of
+  // the configured placement policy.
+  for (PlacementPolicy p : {PlacementPolicy::kNone, PlacementPolicy::kStriped,
+                            PlacementPolicy::kIsolated}) {
+    SimContext sim(MultiChannelModel(p, 1));
+    uint64_t c1 =
+        sim.ScheduleBackground(0, 1000, SimActivity::kFlush, nullptr);
+    uint64_t c2 =
+        sim.ScheduleBackground(0, 1000, SimActivity::kCompaction, nullptr);
+    EXPECT_EQ(30u, c1);
+    EXPECT_EQ(60u, c2);
+    sim.ChargeForegroundRead(1000);  // contended: 11 * 2 = 22.
+    EXPECT_EQ(22u, sim.NowMicros());
+  }
 }
 
 TEST(SimContext, JobsChainedInsideApplyStartAfterParent) {

@@ -90,6 +90,12 @@ class SlowTableEnv : public ThreadedMemEnv {
     return s;
   }
 
+  // Hinted creations must go through the same slow-table wrapping.
+  Status NewWritableFile(const std::string& fname, WriteHint /*hint*/,
+                         WritableFile** result) override {
+    return NewWritableFile(fname, result);
+  }
+
  private:
   const int delay_micros_;
 };
