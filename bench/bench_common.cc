@@ -17,6 +17,7 @@ namespace {
 int g_bench_threads = 1;
 int g_bench_bg_jobs = 1;
 int g_bench_shards = 1;
+int g_bench_multiget = 1;
 uint64_t g_bench_requests = 0;  // 0 => keep the scaled default
 std::string g_trace_path;
 Tracer* g_tracer = nullptr;
@@ -174,6 +175,14 @@ void InitBenchFlags(int argc, char** argv) {
         std::exit(2);
       }
       g_bench_shards = n;
+    } else if (std::strncmp(arg, "--multiget=", 11) == 0) {
+      const int n = std::atoi(arg + 11);
+      if (n < 1) {
+        std::fprintf(stderr, "fatal: --multiget must be >= 1 (got %s)\n",
+                     arg + 11);
+        std::exit(2);
+      }
+      g_bench_multiget = n;
     } else if (std::strncmp(arg, "--requests=", 11) == 0) {
       char* end = nullptr;
       const unsigned long long n = std::strtoull(arg + 11, &end, 10);
@@ -192,7 +201,8 @@ void InitBenchFlags(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "fatal: unknown flag %s (supported: --threads=N, "
-                   "--bg-jobs=N, --shards=N, --requests=N, --trace=FILE)\n",
+                   "--bg-jobs=N, --shards=N, --multiget=N, --requests=N, "
+                   "--trace=FILE)\n",
                    arg);
       std::exit(2);
     }
@@ -229,6 +239,7 @@ BenchParams DefaultBenchParams() {
   params.threads = g_bench_threads;
   params.bg_jobs = g_bench_bg_jobs;
   params.shards = g_bench_shards;
+  params.multiget = g_bench_multiget;
   return params;
 }
 
@@ -368,6 +379,7 @@ WorkloadSpec MakeSpec(const BenchParams& params, const std::string& name) {
   spec.value_size = params.value_size;
   spec.zipf_s = params.zipf_s;
   spec.seed = params.seed;
+  spec.multiget_batch = params.multiget;
   return spec;
 }
 
@@ -398,6 +410,7 @@ void ExportBenchJson(const std::string& tag, BenchDb& bench) {
   w.KV("threads", p.threads);
   w.KV("bg_jobs", p.bg_jobs);
   w.KV("shards", p.shards);
+  w.KV("multiget", p.multiget);
   w.KV("block_cache_capacity", static_cast<uint64_t>(p.block_cache_size));
   w.KV("num_ops", p.num_ops);
   w.KV("key_space", p.key_space);

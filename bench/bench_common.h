@@ -46,6 +46,10 @@ struct BenchParams {
   // a ShardedDB and forces wall-clock mode even with --threads=1: shards
   // run real background threads, which the simulator cannot model.
   int shards = 1;
+  // Point lookups per batch (--multiget=N). 1 (the default) issues plain
+  // Gets; N > 1 makes the workload driver draw N keys at a time and issue
+  // one MultiGet, exercising the batched read path.
+  int multiget = 1;
   uint64_t num_ops = 60000;
   uint64_t key_space = 60000;
   size_t value_size = 256;
@@ -69,7 +73,7 @@ struct BenchParams {
 };
 
 // Parses shared command-line flags (--threads=N, --bg-jobs=N, --shards=N,
-// --requests=N, --trace=FILE). Call at the top of every bench main; exits
+// --multiget=N, --requests=N, --trace=FILE). Call at the top of every bench main; exits
 // with an error on unknown flags. Parsed values are applied by
 // DefaultBenchParams(); --trace creates the process-wide tracer (see
 // BenchTracer) and registers an exit handler that writes the Chrome

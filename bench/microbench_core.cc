@@ -1,7 +1,10 @@
 // google-benchmark microbenchmarks for the data-structure layer: varint
 // coding, CRC32C, bloom filters, skiplist/memtable, and SSTable block
-// build/seek. These are sanity checks that the substrate is not the
-// bottleneck in the figure harnesses.
+// build/seek — plus DB-level point reads (BM_DBGet / BM_DBMultiGet) that
+// exercise the full lock-free read path at 1 and 8 threads. The
+// data-structure ones are sanity checks that the substrate is not the
+// bottleneck in the figure harnesses; the DB-level ones are what the CI
+// read-scaling smoke gate runs.
 
 #include <memory>
 #include <string>
@@ -9,6 +12,7 @@
 
 #include "benchmark/benchmark.h"
 #include "db/dbformat.h"
+#include "ldc/db.h"
 #include "ldc/env.h"
 #include "ldc/comparator.h"
 #include "ldc/filter_policy.h"
@@ -166,6 +170,86 @@ void BM_TableBuild(benchmark::State& state) {
                           (16 + value.size()));
 }
 BENCHMARK(BM_TableBuild);
+
+// --- DB-level point reads (lock-free read path) ----------------------------
+
+// One shared read-only DB for every BM_DBGet/BM_DBMultiGet run: in-memory
+// files, a preloaded keyspace spanning memtable and several SST levels,
+// all background work drained before the first measurement. The magic
+// static makes initialization safe when google-benchmark starts 8 threads
+// at once.
+constexpr int kDBGetKeySpace = 60000;
+
+class ReadBenchDB {
+ public:
+  ReadBenchDB() : mem_env_(NewMemEnv()) {
+    options_.env = mem_env_.get();
+    options_.create_if_missing = true;
+    options_.filter_policy = filter_policy_.get();
+    options_.write_buffer_size = 1 << 20;
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/readbench", &raw);
+    if (!s.ok()) std::abort();
+    db_.reset(raw);
+    const std::string value(128, 'v');
+    for (int i = 0; i < kDBGetKeySpace; i++) {
+      if (!db_->Put(WriteOptions(), MakeKey(i), value).ok()) std::abort();
+    }
+    if (!db_->WaitForIdle().ok()) std::abort();
+  }
+
+  DB* db() { return db_.get(); }
+
+ private:
+  std::unique_ptr<const FilterPolicy> filter_policy_{NewBloomFilterPolicy(10)};
+  std::unique_ptr<Env> mem_env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+DB* SharedReadDB() {
+  static ReadBenchDB instance;
+  return instance.db();
+}
+
+void BM_DBGet(benchmark::State& state) {
+  DB* db = SharedReadDB();
+  Random rng(42 + state.thread_index());
+  std::string value;
+  for (auto _ : state) {
+    Status s =
+        db->Get(ReadOptions(), MakeKey(rng.Uniform(kDBGetKeySpace)), &value);
+    if (!s.ok()) {
+      state.SkipWithError("Get failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DBGet)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_DBMultiGet(benchmark::State& state) {
+  DB* db = SharedReadDB();
+  Random rng(97 + state.thread_index());
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<std::string> key_storage(batch);
+  std::vector<Slice> keys(batch);
+  std::vector<std::string> values;
+  for (auto _ : state) {
+    for (int j = 0; j < batch; j++) {
+      key_storage[j] = MakeKey(rng.Uniform(kDBGetKeySpace));
+      keys[j] = key_storage[j];
+    }
+    for (const Status& s : db->MultiGet(ReadOptions(), keys, &values)) {
+      if (!s.ok()) {
+        state.SkipWithError("MultiGet failed");
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DBMultiGet)->Arg(16)->Threads(1)->Threads(8)->UseRealTime();
 
 }  // namespace
 }  // namespace ldc

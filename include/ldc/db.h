@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "ldc/iterator.h"
 #include "ldc/options.h"
@@ -91,6 +92,18 @@ class DB {
   // May return some other Status on an error.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  // Look up a batch of keys in one call. (*values)[i] and the returned
+  // statuses[i] correspond to keys[i], with the same per-key contract as
+  // Get. All lookups observe one consistent view of the DB: the results
+  // are byte-identical to calling Get for each key back to back with no
+  // intervening write. Implementations amortize per-key overhead across
+  // the batch (one read-state pin, one probe per table shared by
+  // neighboring keys), so a batched lookup of N keys is cheaper than N
+  // Gets. The default implementation is N sequential Gets.
+  virtual std::vector<Status> MultiGet(const ReadOptions& options,
+                                       const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values);
 
   // Return a heap-allocated iterator over the contents of the database.
   // The result of NewIterator() is initially invalid (caller must

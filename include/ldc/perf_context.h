@@ -44,6 +44,13 @@ struct PerfContext {
   uint64_t get_count = 0;
   uint64_t seek_count = 0;
 
+  // Where point lookups (Get and every key of a MultiGet batch) were
+  // resolved since Reset(): the active memtable, the immutable memtable,
+  // or some SST level of the current version.
+  uint64_t memtable_hits = 0;
+  uint64_t imm_memtable_hits = 0;
+  uint64_t version_hits = 0;
+
   // Where the most recent Get was resolved: kHitMemTable, kHitImmMemTable,
   // an SST level (>= 0), or kHitNone on a miss.
   int last_get_hit_level = kHitNone;

@@ -53,6 +53,8 @@ enum Ticker : uint32_t {
   kGetHits,
   kSliceSourcesChecked,       // linked slices consulted during reads
   kSeeks,
+  kMultiGetKeys,              // keys looked up through MultiGet batches
+  kMultiGetBatches,           // MultiGet calls
 
   // Stalls (tail-latency drivers).
   kStallMicros,               // hard write stalls (L0 stop / imm wait)
@@ -93,6 +95,7 @@ inline Ticker ChannelWriteBytesTicker(int channel) {
 enum Gauge : uint32_t {
   kBgJobsRunning = 0,   // background work units currently executing
   kLdcMergesRunning,    // LDC merges currently executing
+  kReadStatePinned,     // readers currently pinning a ReadState
 
   // Per-channel device state of the multi-channel SSD simulator
   // ("io.channel.<k>.queued" — background jobs scheduled on the channel —

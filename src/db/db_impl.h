@@ -50,6 +50,9 @@ class DBImpl : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override;
   Iterator* NewIterator(const ReadOptions&) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
@@ -89,6 +92,60 @@ class DBImpl : public DB {
   friend class DB;
   struct CompactionState;
   struct Writer;
+
+  // --- Lock-free read path (see docs/CONCURRENCY.md, "The read path") ---
+  // A ReadState pins everything a point read needs — the active memtable,
+  // the immutable memtable being flushed (if any), and the current
+  // Version — behind one pointer published in read_state_packed_. Readers
+  // acquire it with a single atomic RMW and release it without touching
+  // mutex_; writers build and publish a replacement under mutex_ whenever
+  // any pinned component changes (memtable switch, flush completion,
+  // version install) and the old state is torn down by whoever drops its
+  // last reference (deferred unref).
+  struct ReadState {
+    MemTable* mem = nullptr;
+    MemTable* imm = nullptr;  // may be null
+    Version* version = nullptr;
+    // LastSequence() at publish time. Debug/trace only — readers take
+    // their snapshot from the live atomic VersionSet::LastSequence() so
+    // a Get that begins after a Put returns always sees that Put even if
+    // no publish happened in between.
+    uint64_t published_sequence = 0;
+    // Internal reference count. Starts at 1 (the "publish bias", dropped
+    // on retirement); each acquired reader holds exactly one.
+    std::atomic<int64_t> refs{0};
+  };
+
+  // read_state_packed_ layout: [external count:16 | ReadState*:48].
+  // Acquire bumps the external count and the state's internal count,
+  // then removes its external ref again (or, if a publisher swapped the
+  // word first, the publisher transferred every external ref into the
+  // internal count and the acquirer cancels the double-count). Release
+  // is a plain internal decrement — it never touches the packed word,
+  // so there is no ABA hazard on the hot path.
+  static constexpr int kReadStatePointerBits = 48;
+  static constexpr uint64_t kReadStateExternalRef = 1ull
+                                                    << kReadStatePointerBits;
+  static constexpr uint64_t kReadStatePointerMask =
+      kReadStateExternalRef - 1;
+
+  // Pins the current ReadState (one atomic RMW, no mutex_).
+  ReadState* AcquireReadState();
+  // Drops one reference. The thread that drops a retired state's last
+  // reference takes mutex_ once to unref the pinned memtables/version
+  // and delete the state — never while the state is still current.
+  void ReleaseReadState(ReadState* state);
+  // Builds a ReadState from mem_/imm_/current and publishes it, retiring
+  // the previous one. Call after every change to mem_/imm_/current.
+  void PublishReadState() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Unpublishes and tears down the current state at shutdown (after all
+  // background work has drained).
+  void RetireReadStateForShutdown() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Unrefs a dead state's pins and deletes it.
+  void DeleteReadStateLocked(ReadState* state)
+      EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+
+  static void CleanupIteratorState(void* arg1, void* arg2);
 
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot);
@@ -218,7 +275,9 @@ class DBImpl : public DB {
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // Record one user operation for the adaptive-T_s controller (§III-B4).
-  void ObserveOp(bool is_write) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Lock-free: reads call it without mutex_. `count` lets MultiGet record
+  // a whole batch with one RMW.
+  void ObserveOp(bool is_write, uint64_t count = 1);
   int EffectiveSliceThresholdLocked() const EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   // --- Event notification ------------------------------------------------
@@ -252,9 +311,9 @@ class DBImpl : public DB {
   FileLock* db_lock_;
 
   // State below is protected by mutex_ unless noted otherwise. Lock order:
-  // mutex_ is the outermost lock; leaf mutexes (table cache, block cache,
-  // Statistics histograms, FileLogger) may be taken while holding it, never
-  // the reverse. See docs/CONCURRENCY.md.
+  // mutex_ is the outermost lock; snapshots_mutex_ and other leaf mutexes
+  // (table cache, block cache, Statistics histograms, FileLogger) may be
+  // taken while holding it, never the reverse. See docs/CONCURRENCY.md.
   mutable std::mutex mutex_;
   std::atomic<bool> shutting_down_;
   // Signalled whenever a background work unit finishes (and on shutdown).
@@ -270,7 +329,11 @@ class DBImpl : public DB {
   std::deque<Writer*> writers_;
   WriteBatch* tmp_batch_;  // Scratch batch for group commit
 
-  SnapshotList snapshots_;
+  // The snapshot list lives behind its own small leaf mutex so snapshot
+  // churn from read-heavy clients never contends with the write path.
+  // Lock order: mutex_ (if held) before snapshots_mutex_.
+  mutable std::mutex snapshots_mutex_;
+  SnapshotList snapshots_;  // Protected by snapshots_mutex_.
 
   // Set of table files to protect from deletion because they are
   // part of ongoing compactions.
@@ -309,10 +372,22 @@ class DBImpl : public DB {
   // Tiered: the file group whose sim merge job is currently scheduled.
   std::vector<uint64_t> scheduled_tier_group_;
 
-  // Adaptive-T_s controller state.
-  uint64_t window_writes_;
-  uint64_t window_reads_;
-  double smoothed_write_fraction_;
+  // Adaptive-T_s controller state. Lock-free: counters advance with
+  // relaxed RMWs from any thread; whichever thread crosses the window
+  // boundary takes window_roll_lock_ (a spin flag, never contended for
+  // long) to fold the window into the smoothed fraction.
+  std::atomic<uint64_t> window_writes_;
+  std::atomic<uint64_t> window_reads_;
+  std::atomic<double> smoothed_write_fraction_;
+  std::atomic_flag window_roll_lock_ = ATOMIC_FLAG_INIT;
+
+  // Lock-free read-path state — see the ReadState comment above.
+  std::atomic<uint64_t> read_state_packed_{0};
+  // Number of times a read-path release fell back to mutex_ to tear down
+  // a retired ReadState ("ldc.readstate-deferred-cleanups" property).
+  // During a quiescent read-only phase this stays flat, which is the
+  // test-visible proof that the Get hot path takes zero locks.
+  std::atomic<uint64_t> readstate_deferred_cleanups_{0};
 
   // Have we encountered a background error in paranoid mode?
   Status bg_error_;

@@ -368,6 +368,47 @@ Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
   return shards_[shard]->Get(ShardReadOptions(options, shard), key, value);
 }
 
+std::vector<Status> ShardedDB::MultiGet(const ReadOptions& options,
+                                        const std::vector<Slice>& keys,
+                                        std::vector<std::string>* values) {
+  const size_t n = keys.size();
+  values->clear();
+  values->resize(n);
+  std::vector<Status> statuses(n);
+  if (n == 0) return statuses;
+
+  TraceSpan span(tracer_, TraceCat::kShard, "sharded.multiget");
+  span.SetArg1("keys", static_cast<uint64_t>(n));
+
+  // Group key positions by shard so each shard sees one batch (one
+  // ReadState pin per shard instead of one per key), then scatter the
+  // per-shard results back into caller order.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < n; i++) {
+    by_shard[ShardOf(keys[i])].push_back(i);
+  }
+  std::vector<Slice> shard_keys;
+  std::vector<std::string> shard_values;
+  size_t shards_hit = 0;
+  for (size_t shard = 0; shard < shards_.size(); shard++) {
+    const std::vector<size_t>& positions = by_shard[shard];
+    if (positions.empty()) continue;
+    shards_hit++;
+    shard_keys.clear();
+    shard_keys.reserve(positions.size());
+    for (size_t pos : positions) shard_keys.push_back(keys[pos]);
+    std::vector<Status> shard_statuses = shards_[shard]->MultiGet(
+        ShardReadOptions(options, static_cast<int>(shard)), shard_keys,
+        &shard_values);
+    for (size_t j = 0; j < positions.size(); j++) {
+      statuses[positions[j]] = std::move(shard_statuses[j]);
+      (*values)[positions[j]] = std::move(shard_values[j]);
+    }
+  }
+  span.SetArg2("shards", static_cast<uint64_t>(shards_hit));
+  return statuses;
+}
+
 Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
   // Shards partition the keyspace, so the k-way merge never sees the
   // same user key twice and the user comparator gives a total order.

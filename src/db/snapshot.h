@@ -28,6 +28,9 @@ class SnapshotImpl : public Snapshot {
   const SequenceNumber sequence_number_;
 };
 
+// Not thread-safe on its own: DBImpl guards its list with the dedicated
+// snapshots_mutex_ (a leaf lock), keeping snapshot churn off the main DB
+// mutex and off the lock-free read path.
 class SnapshotList {
  public:
   SnapshotList() : head_(0) {

@@ -129,6 +129,28 @@ bool TableCache::KeyMayMatch(uint64_t file_number, uint64_t file_size,
   return may_match;
 }
 
+Status TableCache::PinTable(uint64_t file_number, uint64_t file_size,
+                            Cache::Handle** handle) {
+  *handle = nullptr;
+  return FindTable(file_number, file_size, handle);
+}
+
+bool TableCache::PinnedKeyMayMatch(Cache::Handle* handle, const Slice& k) {
+  Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+  return t->KeyMayMatch(k);
+}
+
+Status TableCache::PinnedGet(const ReadOptions& options, Cache::Handle* handle,
+                             const Slice& k, void* arg,
+                             void (*handle_result)(void*, const Slice&,
+                                                   const Slice&),
+                             bool check_filter) {
+  Table* t = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table;
+  return t->InternalGet(options, k, arg, handle_result, check_filter);
+}
+
+void TableCache::Unpin(Cache::Handle* handle) { cache_->Release(handle); }
+
 void TableCache::WarmTable(uint64_t file_number, uint64_t file_size) {
   if (options_.block_cache == nullptr) return;
   ReadOptions options;

@@ -52,6 +52,31 @@ class TableCache {
   // I/O). Returns true on any error (the subsequent Get surfaces it).
   bool KeyMayMatch(uint64_t file_number, uint64_t file_size, const Slice& k);
 
+  // --- Pinned-handle batch API (MultiGet) ---
+  //
+  // A MultiGet batch probing several keys in the same table pays the
+  // cache hash lookup once: PinTable resolves the handle, the Pinned*
+  // calls reuse it, and Unpin releases it. The handle pins the open
+  // table (and its file) for exactly that window.
+
+  // Resolve (opening if needed) the table for file_number and return its
+  // pinned cache handle in *handle. On error *handle is null.
+  Status PinTable(uint64_t file_number, uint64_t file_size,
+                  Cache::Handle** handle);
+
+  // KeyMayMatch through an already-pinned handle.
+  bool PinnedKeyMayMatch(Cache::Handle* handle, const Slice& k);
+
+  // Get through an already-pinned handle. Pass check_filter=false when
+  // PinnedKeyMayMatch was already consulted for "k".
+  Status PinnedGet(const ReadOptions& options, Cache::Handle* handle,
+                   const Slice& k, void* arg,
+                   void (*handle_result)(void*, const Slice&, const Slice&),
+                   bool check_filter = true);
+
+  // Release a handle returned by PinTable.
+  void Unpin(Cache::Handle* handle);
+
   // Evict any entry for the specified file number
   void Evict(uint64_t file_number);
 

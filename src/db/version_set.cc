@@ -547,6 +547,273 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   return Status::NotFound(Slice());
 }
 
+void Version::SearchFileGroupBatch(const ReadOptions& options, FileMetaData* f,
+                                   std::vector<GetRequest*>* requests,
+                                   size_t begin, size_t end, int level) {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  Statistics* stats = vset_->options_->statistics;
+  TableCache* cache = vset_->table_cache_;
+
+  std::vector<Saver> savers(end - begin);
+  for (size_t i = begin; i < end; i++) {
+    GetRequest* r = (*requests)[i];
+    Saver& saver = savers[i - begin];
+    saver.state = kNotFound;
+    saver.ucmp = ucmp;
+    saver.user_key = r->key->user_key();
+    saver.value = r->value;
+    saver.seq = 0;
+  }
+
+  // Linked slices first (strictly newer than *f). Each slice table is
+  // pinned at most once for the whole group; the pin is lazy so a slice
+  // covering none of the batch costs nothing.
+  const LdcLinkState& link_state = links();
+  if (link_state.HasLinks(f->number)) {
+    for (const SliceLinkMeta& link : link_state.LinksNewestFirst(f->number)) {
+      const FrozenFileMeta* frozen = link_state.Frozen(link.frozen_file_number);
+      assert(frozen != nullptr);
+      if (frozen == nullptr) continue;
+      Cache::Handle* handle = nullptr;
+      for (size_t i = begin; i < end; i++) {
+        GetRequest* r = (*requests)[i];
+        if (r->done) continue;
+        const Slice user_key = r->key->user_key();
+        if (ucmp->Compare(user_key, link.smallest.user_key()) < 0 ||
+            ucmp->Compare(user_key, link.largest.user_key()) > 0) {
+          continue;
+        }
+        if (stats != nullptr) stats->Record(kSliceSourcesChecked);
+        GetPerfContext()->slice_sources_checked++;
+        if (handle == nullptr) {
+          Status pin = cache->PinTable(frozen->number, frozen->file_size,
+                                       &handle);
+          if (!pin.ok()) {
+            r->status = pin;
+            r->done = true;
+            continue;
+          }
+        }
+        const Slice ikey = r->key->internal_key();
+        if (!cache->PinnedKeyMayMatch(handle, ikey)) {
+          if (stats != nullptr) stats->Record(kBloomSkippedTables);
+          GetPerfContext()->bloom_skipped_tables++;
+          continue;
+        }
+        Status read_status = cache->PinnedGet(options, handle, ikey,
+                                              &savers[i - begin], SaveValue,
+                                              /*check_filter=*/false);
+        if (!read_status.ok()) {
+          r->status = read_status;
+          r->done = true;
+        }
+      }
+      if (handle != nullptr) cache->Unpin(handle);
+    }
+  }
+
+  // The file itself, pinned once for every in-range key of the group.
+  {
+    Cache::Handle* handle = nullptr;
+    for (size_t i = begin; i < end; i++) {
+      GetRequest* r = (*requests)[i];
+      if (r->done) continue;
+      const Slice user_key = r->key->user_key();
+      if (ucmp->Compare(user_key, f->smallest.user_key()) < 0 ||
+          ucmp->Compare(user_key, f->largest.user_key()) > 0) {
+        continue;
+      }
+      if (handle == nullptr) {
+        Status pin = cache->PinTable(f->number, f->file_size, &handle);
+        if (!pin.ok()) {
+          r->status = pin;
+          r->done = true;
+          continue;
+        }
+      }
+      const Slice ikey = r->key->internal_key();
+      if (!cache->PinnedKeyMayMatch(handle, ikey)) {
+        if (stats != nullptr) stats->Record(kBloomSkippedTables);
+        GetPerfContext()->bloom_skipped_tables++;
+        continue;
+      }
+      Status read_status = cache->PinnedGet(options, handle, ikey,
+                                            &savers[i - begin], SaveValue,
+                                            /*check_filter=*/false);
+      if (!read_status.ok()) {
+        r->status = read_status;
+        r->done = true;
+      }
+    }
+    if (handle != nullptr) cache->Unpin(handle);
+  }
+
+  for (size_t i = begin; i < end; i++) {
+    GetRequest* r = (*requests)[i];
+    if (r->done) continue;
+    switch (savers[i - begin].state) {
+      case kNotFound:
+        break;  // Keep searching deeper levels.
+      case kFound:
+        r->status = Status::OK();
+        r->done = true;
+        if (stats != nullptr) stats->Record(kGetHits);
+        GetPerfContext()->last_get_hit_level = level;
+        break;
+      case kDeleted:
+        r->status = Status::NotFound(Slice());
+        r->done = true;
+        break;
+      case kCorrupt:
+        r->status = Status::Corruption("corrupted key for ",
+                                       r->key->user_key());
+        r->done = true;
+        break;
+    }
+  }
+}
+
+void Version::MultiGet(const ReadOptions& options,
+                       std::vector<GetRequest*>* requests) {
+  const Comparator* ucmp = vset_->icmp_.user_comparator();
+  Statistics* stats = vset_->options_->statistics;
+  std::vector<GetRequest*>& reqs = *requests;
+  const size_t n = reqs.size();
+
+  size_t pending = 0;
+  for (GetRequest* r : reqs) {
+    if (r->done) continue;
+    pending++;
+    if (stats != nullptr) stats->Record(kGets);
+  }
+  if (pending == 0) return;
+
+  // Level 0: files overlap, so every file whose range covers a key is
+  // probed and the sequence numbers decide (exactly as in Get). Each
+  // overlapping file is pinned once for all of its in-range keys.
+  if (!files_[0].empty()) {
+    std::vector<Saver> savers(n);
+    for (size_t i = 0; i < n; i++) {
+      if (reqs[i]->done) continue;
+      Saver& saver = savers[i];
+      saver.state = kNotFound;
+      saver.ucmp = ucmp;
+      saver.user_key = reqs[i]->key->user_key();
+      saver.value = reqs[i]->value;
+      saver.seq = 0;
+    }
+    std::vector<FileMetaData*> tmp(files_[0]);
+    std::sort(tmp.begin(), tmp.end(), NewestFirst);
+    for (FileMetaData* f : tmp) {
+      Cache::Handle* handle = nullptr;
+      for (size_t i = 0; i < n; i++) {
+        GetRequest* r = reqs[i];
+        if (r->done) continue;
+        const Slice user_key = r->key->user_key();
+        if (ucmp->Compare(user_key, f->smallest.user_key()) < 0 ||
+            ucmp->Compare(user_key, f->largest.user_key()) > 0) {
+          continue;
+        }
+        if (handle == nullptr) {
+          Status pin = vset_->table_cache_->PinTable(f->number, f->file_size,
+                                                     &handle);
+          if (!pin.ok()) {
+            r->status = pin;
+            r->done = true;
+            continue;
+          }
+        }
+        const Slice ikey = r->key->internal_key();
+        if (!vset_->table_cache_->PinnedKeyMayMatch(handle, ikey)) {
+          if (stats != nullptr) stats->Record(kBloomSkippedTables);
+          GetPerfContext()->bloom_skipped_tables++;
+          continue;
+        }
+        Status read_status = vset_->table_cache_->PinnedGet(
+            options, handle, ikey, &savers[i], SaveValue,
+            /*check_filter=*/false);
+        if (!read_status.ok()) {
+          r->status = read_status;
+          r->done = true;
+        }
+      }
+      if (handle != nullptr) vset_->table_cache_->Unpin(handle);
+    }
+    for (size_t i = 0; i < n; i++) {
+      GetRequest* r = reqs[i];
+      if (r->done) continue;
+      switch (savers[i].state) {
+        case kNotFound:
+          break;  // Keep searching deeper levels.
+        case kFound:
+          r->status = Status::OK();
+          r->done = true;
+          if (stats != nullptr) stats->Record(kGetHits);
+          GetPerfContext()->last_get_hit_level = 0;
+          break;
+        case kDeleted:
+          r->status = Status::NotFound(Slice());
+          r->done = true;
+          break;
+        case kCorrupt:
+          r->status = Status::Corruption("corrupted key for ",
+                                         r->key->user_key());
+          r->done = true;
+          break;
+      }
+    }
+  }
+
+  // Deeper levels hold disjoint files. Requests are sorted, so FindFile
+  // indexes are non-decreasing: consecutive requests landing in the same
+  // read group are probed together through one pinned handle per table.
+  for (int level = 1; level < vset_->num_levels_; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) continue;
+    size_t i = 0;
+    while (i < n) {
+      GetRequest* r = reqs[i];
+      if (r->done) {
+        i++;
+        continue;
+      }
+      const int index = FindFile(vset_->icmp_, files, r->key->internal_key());
+      FileMetaData* f;
+      if (index < static_cast<int>(files.size())) {
+        f = files[index];
+      } else {
+        // Past the last file's largest key: only its slices may still
+        // contain these keys — and every later (sorted) key lands here
+        // too, so without links the whole rest of the level is done.
+        f = files.back();
+        if (!links().HasLinks(f->number)) break;
+      }
+      size_t j = i + 1;
+      while (j < n) {
+        GetRequest* rj = reqs[j];
+        if (rj->done) {
+          j++;
+          continue;
+        }
+        if (FindFile(vset_->icmp_, files, rj->key->internal_key()) != index) {
+          break;
+        }
+        j++;
+      }
+      SearchFileGroupBatch(options, f, requests, i, j, level);
+      i = j;
+    }
+  }
+
+  // Anything not resolved by any level is definitively absent.
+  for (GetRequest* r : reqs) {
+    if (!r->done) {
+      r->status = Status::NotFound(Slice());
+      r->done = true;
+    }
+  }
+}
+
 void Version::Ref() { ++refs_; }
 
 void Version::Unref() {
@@ -899,7 +1166,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   }
 
   edit->SetNextFile(next_file_number_);
-  edit->SetLastSequence(last_sequence_);
+  edit->SetLastSequence(LastSequence());
 
   Version* v = new Version(this);
   {

@@ -8,11 +8,17 @@
 // VersionSet.
 //
 // Version,VersionSet are thread-compatible, but require external
-// synchronization on all accesses.
+// synchronization on all accesses — with two deliberate exceptions for
+// the lock-free read path: LastSequence()/SetLastSequence() are a
+// std::atomic with acquire/release ordering, and Version::Get /
+// Version::MultiGet may run without the DB mutex on any Version the
+// caller holds a reference to (a Version's file lists and link snapshot
+// are immutable after install).
 
 #ifndef LDC_DB_VERSION_SET_H_
 #define LDC_DB_VERSION_SET_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -87,11 +93,31 @@ bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
                            const Slice* smallest_user_key,
                            const Slice* largest_user_key);
 
+// One key of a MultiGet batch as it travels through Version::MultiGet.
+// The caller owns the LookupKey and value buffer; `done` flips to true
+// once a verdict (found / deleted / error) is reached, after which
+// `status` and `*value` are final.
+struct GetRequest {
+  const LookupKey* key = nullptr;
+  std::string* value = nullptr;
+  Status status;
+  bool done = false;
+};
+
 class Version {
  public:
   // Lookup the value for key. If found, store it in *val and
   // return OK. Else return a non-OK status.
   Status Get(const ReadOptions&, const LookupKey& key, std::string* val);
+
+  // Resolve a batch of lookups in one pass over the tree. Requests must
+  // be sorted by user key (ascending); already-done entries are skipped.
+  // Compared to N calls to Get(), each table that serves several keys of
+  // the batch is pinned in the table cache once and its bloom filter is
+  // consulted through that single pinned handle, amortizing the cache
+  // lookups across the batch. Results are byte-identical to sequential
+  // Gets against this same Version.
+  void MultiGet(const ReadOptions&, std::vector<GetRequest*>* requests);
 
   // Append to *iters a sequence of iterators that will
   // yield the contents of this Version when merged together.
@@ -178,6 +204,14 @@ class Version {
   bool SearchFileGroup(const ReadOptions& options, FileMetaData* f,
                        const LookupKey& k, std::string* value, Status* s);
 
+  // Batched SearchFileGroup: probes the read group of *f for every
+  // request in [begin,end) of *requests, pinning each table (frozen
+  // slices and the file itself) once for the whole group. Marks
+  // requests done as verdicts are reached.
+  void SearchFileGroupBatch(const ReadOptions& options, FileMetaData* f,
+                            std::vector<GetRequest*>* requests, size_t begin,
+                            size_t end, int level);
+
   VersionSet* vset_;  // VersionSet to which this Version belongs
   Version* next_;     // Next version in linked list
   Version* prev_;     // Previous version in linked list
@@ -236,13 +270,20 @@ class VersionSet {
   // Total bytes across all live levels (excludes frozen region).
   int64_t TotalLiveBytes() const;
 
-  // Return the last sequence number.
-  uint64_t LastSequence() const { return last_sequence_; }
+  // Return the last sequence number. Safe to call without the DB mutex:
+  // the acquire load pairs with SetLastSequence's release store, so a
+  // reader that observes sequence S also observes every memtable insert
+  // that happened before S was published.
+  uint64_t LastSequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
 
-  // Set the last sequence number to s.
+  // Set the last sequence number to s. Callers are serialized by the DB
+  // mutex (or by the single-writer group-commit leader), so the monotonic
+  // assert below is race-free in practice.
   void SetLastSequence(uint64_t s) {
-    assert(s >= last_sequence_);
-    last_sequence_ = s;
+    assert(s >= last_sequence_.load(std::memory_order_relaxed));
+    last_sequence_.store(s, std::memory_order_release);
   }
 
   // Mark the specified file number as used.
@@ -370,7 +411,7 @@ class VersionSet {
   const int num_levels_;
   uint64_t next_file_number_;
   uint64_t manifest_file_number_;
-  uint64_t last_sequence_;
+  std::atomic<uint64_t> last_sequence_;
   uint64_t log_number_;
   uint64_t prev_log_number_;  // 0 or backing store for memtable being compacted
 

@@ -29,6 +29,9 @@ std::string PerfContext::ToString() const {
   append("slice_sources_checked", slice_sources_checked);
   append("get_count", get_count);
   append("seek_count", seek_count);
+  append("memtable_hits", memtable_hits);
+  append("imm_memtable_hits", imm_memtable_hits);
+  append("version_hits", version_hits);
   std::snprintf(buf, sizeof(buf), "%slast_get_hit_level=%d",
                 result.empty() ? "" : ", ", last_get_hit_level);
   result.append(buf);

@@ -34,6 +34,8 @@ const char* const kTickerNames[kTickerCount] = {
     "get.hits",
     "slice.sources.checked",
     "seeks",
+    "multiget.keys",
+    "multiget.batches",
     "stall.micros",
     "slowdown.micros",
     "bg.jobs.scheduled",
@@ -59,6 +61,7 @@ const char* const kTickerNames[kTickerCount] = {
 const char* const kGaugeNames[kGaugeCount] = {
     "bg.jobs.running",
     "ldc.merges.running",
+    "readstate.pinned",
     "io.channel.0.queued",
     "io.channel.1.queued",
     "io.channel.2.queued",

@@ -33,6 +33,10 @@ struct WorkloadSpec {
   QueryType query_type = QueryType::kPointLookup;
   // Keys touched per range scan (the paper uses 100).
   int scan_length = 100;
+  // Point lookups per batch: 1 issues plain Gets (the default, and exactly
+  // the pre-batching behavior); N > 1 draws N keys and issues one MultiGet,
+  // consuming N operations from the budget.
+  int multiget_batch = 1;
   // Number of distinct keys.
   uint64_t key_space = 200000;
   // Zipf constant; 0 means uniform. Fig. 11 uses 1, 2 and 5.

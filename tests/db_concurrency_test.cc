@@ -608,6 +608,253 @@ TEST_F(DBParallelLdcTest, BackgroundErrorAbortsQueuedJobs) {
   db_.reset();
 }
 
+// --- Lock-free read path: Get / MultiGet vs. ReadState churn ---------------
+
+// Hammers the mutex-free read path from several threads while writers force
+// memtable switches, flushes, and version installs — every one of which
+// publishes a new ReadState that the readers' pins must keep alive. Run
+// under TSan in CI (including the repeat-until-fail pass).
+class DBReadPathConcurrencyTest
+    : public testing::TestWithParam<CompactionStyle> {
+ protected:
+  DBReadPathConcurrencyTest()
+      : mem_env_(NewMemEnv()), env_(new ThreadedMemEnv(mem_env_.get())) {
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    options_.compaction_style = GetParam();
+    options_.max_background_jobs = 4;
+    options_.write_buffer_size = 16 * 1024;
+    options_.max_file_size = 16 * 1024;
+    options_.level1_max_bytes = 64 * 1024;
+    Open();
+  }
+
+  ~DBReadPathConcurrencyTest() override { db_.reset(); }
+
+  void Open() {
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, "/db", &raw);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(raw);
+  }
+
+  std::unique_ptr<Env> mem_env_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBReadPathConcurrencyTest, GetAndMultiGetUnderReadStateChurn) {
+  constexpr int kKeySpace = 400;
+  constexpr int kWrites = 6000;
+  std::atomic<bool> done{false};
+  std::atomic<int> bad_values{0};
+
+  // Writer values are "<id>@<op>" so a reader can validate any observed
+  // value without synchronizing with the writer.
+  auto check = [&](int id, const Status& s, const std::string& value) {
+    if (s.ok()) {
+      const std::string prefix = std::to_string(id) + "@";
+      if (value.compare(0, prefix.size(), prefix) != 0) {
+        bad_values.fetch_add(1);
+      }
+    } else if (!s.IsNotFound()) {
+      bad_values.fetch_add(1);
+    }
+  };
+
+  auto getter = [&](int seed) {
+    int spins = seed;
+    std::string value;
+    while (!done.load(std::memory_order_acquire)) {
+      const int id = (spins * 7) % kKeySpace;
+      check(id, db_->Get(ReadOptions(), MakeKey(id), &value), value);
+      spins++;
+    }
+  };
+  auto multigetter = [&](int seed) {
+    int spins = seed;
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<std::string> ids;
+      std::vector<Slice> keys;
+      for (int j = 0; j < 8; j++) {
+        ids.push_back(MakeKey((spins * 7 + j * 13) % kKeySpace));
+      }
+      for (const std::string& k : ids) keys.emplace_back(k);
+      std::vector<std::string> values;
+      std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys,
+                                                   &values);
+      for (size_t j = 0; j < keys.size(); j++) {
+        check((spins * 7 + static_cast<int>(j) * 13) % kKeySpace, statuses[j],
+              values[j]);
+      }
+      spins++;
+    }
+  };
+
+  std::thread g1(getter, 0), g2(getter, 3), m1(multigetter, 1),
+      m2(multigetter, 5);
+  for (int i = 0; i < kWrites; i++) {
+    const int id = i % kKeySpace;
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(id),
+                         std::to_string(id) + "@" + std::to_string(i) +
+                             std::string(60, 'r'))
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  g1.join();
+  g2.join();
+  m1.join();
+  m2.join();
+  EXPECT_EQ(0, bad_values.load());
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+}
+
+TEST_P(DBReadPathConcurrencyTest, MultiGetMatchesSequentialGets) {
+  // Probed keys live in a range the concurrent writer never touches, so a
+  // MultiGet over them must be byte-identical to N sequential Gets even
+  // while flushes and compactions churn ReadStates underneath.
+  constexpr int kStable = 300;
+  std::map<std::string, std::string> shadow;
+  for (int id = 0; id < kStable; id++) {
+    const std::string key = MakeKey(id);
+    if (id % 7 == 6) continue;  // Leave holes: NotFound must match too.
+    const std::string value = "s" + std::to_string(id) + std::string(80, 'm');
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    shadow[key] = value;
+  }
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    uint64_t op = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const int id = kStable + static_cast<int>(op % 500);
+      db_->Put(WriteOptions(), MakeKey(id),
+               std::to_string(op) + std::string(100, 'c'));
+      op++;
+    }
+  });
+
+  for (int round = 0; round < 200; round++) {
+    std::vector<std::string> ids;
+    std::vector<Slice> keys;
+    for (int j = 0; j < 16; j++) {
+      ids.push_back(MakeKey((round * 31 + j * 17) % kStable));
+    }
+    for (const std::string& k : ids) keys.emplace_back(k);
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+    for (size_t j = 0; j < keys.size(); j++) {
+      std::string single;
+      Status s = db_->Get(ReadOptions(), keys[j], &single);
+      auto it = shadow.find(ids[j]);
+      if (it == shadow.end()) {
+        EXPECT_TRUE(statuses[j].IsNotFound()) << ids[j];
+        EXPECT_TRUE(s.IsNotFound()) << ids[j];
+      } else {
+        ASSERT_TRUE(statuses[j].ok()) << statuses[j].ToString();
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        EXPECT_EQ(it->second, values[j]);
+        EXPECT_EQ(single, values[j]);
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  churn.join();
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+}
+
+TEST_P(DBReadPathConcurrencyTest, QuiescentReadsNeverTakeDbMutex) {
+  // With no writes in flight there is no ReadState churn, so no release can
+  // be the last reference to a retired state — the deferred-cleanup counter
+  // (the only path where a read touches mutex_) must stay flat across any
+  // number of Gets and MultiGets.
+  for (int id = 0; id < 500; id++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), MakeKey(id),
+                         "q" + std::to_string(id) + std::string(80, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  std::string before;
+  ASSERT_TRUE(db_->GetProperty("ldc.readstate-deferred-cleanups", &before));
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; t++) {
+    readers.emplace_back([&, t] {
+      std::string value;
+      for (int i = 0; i < 2000; i++) {
+        const int id = (t * 997 + i * 7) % 500;
+        if (!db_->Get(ReadOptions(), MakeKey(id), &value).ok()) std::abort();
+      }
+      for (int i = 0; i < 200; i++) {
+        std::vector<std::string> ids;
+        std::vector<Slice> keys;
+        for (int j = 0; j < 8; j++) {
+          ids.push_back(MakeKey((t * 131 + i * 11 + j) % 500));
+        }
+        for (const std::string& k : ids) keys.emplace_back(k);
+        std::vector<std::string> values;
+        for (const Status& s : db_->MultiGet(ReadOptions(), keys, &values)) {
+          if (!s.ok()) std::abort();
+        }
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+
+  std::string after;
+  ASSERT_TRUE(db_->GetProperty("ldc.readstate-deferred-cleanups", &after));
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(DBReadPathConcurrencyTest, MultiGetRespectsSnapshot) {
+  for (int id = 0; id < 100; id++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), MakeKey(id), "old" + std::to_string(id))
+            .ok());
+  }
+  const Snapshot* snap = db_->GetSnapshot();
+  for (int id = 0; id < 100; id++) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), MakeKey(id), "new" + std::to_string(id))
+            .ok());
+  }
+  ASSERT_TRUE(db_->Delete(WriteOptions(), MakeKey(7)).ok());
+  ASSERT_TRUE(db_->WaitForIdle().ok());
+
+  std::vector<std::string> ids;
+  std::vector<Slice> keys;
+  for (int id = 0; id < 100; id++) ids.push_back(MakeKey(id));
+  for (const std::string& k : ids) keys.emplace_back(k);
+
+  ReadOptions snap_options;
+  snap_options.snapshot = snap;
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(snap_options, keys, &values);
+  for (int id = 0; id < 100; id++) {
+    ASSERT_TRUE(statuses[id].ok()) << id << ": " << statuses[id].ToString();
+    EXPECT_EQ("old" + std::to_string(id), values[id]);
+  }
+
+  statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (int id = 0; id < 100; id++) {
+    if (id == 7) {
+      EXPECT_TRUE(statuses[id].IsNotFound());
+    } else {
+      ASSERT_TRUE(statuses[id].ok()) << id;
+      EXPECT_EQ("new" + std::to_string(id), values[id]);
+    }
+  }
+  db_->ReleaseSnapshot(snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, DBReadPathConcurrencyTest,
+                         testing::Values(CompactionStyle::kUdc,
+                                         CompactionStyle::kLdc,
+                                         CompactionStyle::kTiered),
+                         StyleName);
+
 }  // namespace
 
 }  // namespace ldc
